@@ -1,0 +1,79 @@
+"""E7 -- Figure 5 ablation: Vicinity Allocator vs Random Allocator.
+
+The paper contrasts allocating ghost vertices within two hops of the
+originating compute cell (Vicinity Allocator, Figure 5a) against scattering
+them uniformly over the chip (Random Allocator, Figure 5b).  This benchmark
+streams a skewed (R-MAT) graph -- whose hub vertices overflow into long
+ghost chains -- under both policies and reports cycles, mean ghost distance
+and energy.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, BENCH_SEED, CHIP_50K, scaled
+
+from repro.algorithms.bfs import StreamingBFS
+from repro.analysis.tables import render_table
+from repro.datasets.rmat import generate_rmat
+from repro.datasets.sampling import edge_sampling_increments
+from repro.graph.graph import DynamicGraph
+from repro.runtime.device import AMCCADevice
+
+
+def _run(allocator: str):
+    # R-MAT scale (log2 of vertex count): skewed enough to force long ghost
+    # chains on hub vertices, small enough to finish in seconds below paper scale.
+    scale = 16 if BENCH_SCALE == "paper" else 10
+    edges = generate_rmat(scale=scale, edge_factor=12, seed=BENCH_SEED)
+    num_vertices = 1 << scale
+    increments = edge_sampling_increments(edges, 5, seed=BENCH_SEED)
+
+    device = AMCCADevice(CHIP_50K.with_(edge_list_capacity=8))
+    graph = DynamicGraph(device, num_vertices, seed=BENCH_SEED, ghost_allocator=allocator)
+    bfs = StreamingBFS(root=0)
+    graph.attach(bfs)
+    bfs.seed(graph, root=0)
+    for increment in increments:
+        graph.stream_increment(increment)
+    return {
+        "allocator": allocator,
+        "cycles": sum(graph.per_increment_cycles()),
+        "ghosts": graph.ghost_blocks_allocated,
+        "mean_ghost_distance": graph.ghost_report()["mean_ghost_distance"],
+        "hops": device.stats().hops,
+        "energy_uj": device.energy_report().total_uj,
+        "edges": graph.total_edges_stored(),
+    }
+
+
+@pytest.mark.parametrize("allocator", ["vicinity", "random"])
+def test_allocator_ablation(benchmark, allocator):
+    result = benchmark.pedantic(lambda: _run(allocator), rounds=1, iterations=1)
+    print()
+    print(render_table([{k.replace("_", " "): v if not isinstance(v, float) else round(v, 2)
+                         for k, v in result.items()}]))
+    assert result["ghosts"] > 0
+    if allocator == "vicinity":
+        # The defining property: ghosts stay within the 2-hop vicinity.
+        assert result["mean_ghost_distance"] <= 2.0
+
+
+def test_vicinity_beats_random_on_intra_vertex_locality(benchmark):
+    """Direct head-to-head: vicinity allocation keeps ghosts closer and does
+    not need more NoC hops than random allocation."""
+    results = benchmark.pedantic(
+        lambda: {name: _run(name) for name in ("vicinity", "random")},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_table([
+        {"allocator": r["allocator"],
+         "mean ghost distance": round(r["mean_ghost_distance"], 2),
+         "total hops": r["hops"],
+         "cycles": r["cycles"],
+         "energy (uJ)": round(r["energy_uj"], 1)}
+        for r in results.values()
+    ]))
+    vicinity, random_ = results["vicinity"], results["random"]
+    assert vicinity["edges"] == random_["edges"]
+    assert vicinity["mean_ghost_distance"] < random_["mean_ghost_distance"]

@@ -1,0 +1,51 @@
+"""E6 -- Figure 9: cycles per increment, 500 K-class graph.
+
+Same measurement as Figure 8 but on the larger (500 K-class) graph, where
+the snowball-sampling growth and the BFS overhead are more pronounced.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_SCALE, CHIP_500K, dataset_500k
+
+from repro.analysis.experiments import run_ingestion_bfs_pair
+from repro.analysis.figures import increment_figure, render_ascii_plot
+from repro.analysis.tables import render_table
+
+
+@pytest.mark.parametrize("sampling", ["edge", "snowball"])
+def test_fig9_cycles_per_increment_500k(benchmark, sampling):
+    dataset = dataset_500k(sampling)
+    pair = benchmark.pedantic(
+        lambda: run_ingestion_bfs_pair(dataset, chip=CHIP_500K), rounds=1, iterations=1
+    )
+    fig = increment_figure(
+        pair, title=f"Figure 9{'a' if sampling == 'edge' else 'b'} "
+                    f"({sampling} sampling, scale={BENCH_SCALE})"
+    )
+    print()
+    print(render_ascii_plot(fig, max_points=10))
+    rows = [
+        {
+            "Increment": i + 1,
+            "Streaming Edges": pair["ingestion"].increment_cycles[i],
+            "Streaming Edges with BFS": pair["ingestion_bfs"].increment_cycles[i],
+        }
+        for i in range(len(dataset.increments))
+    ]
+    print(render_table(rows))
+
+    ingest = np.array(pair["ingestion"].increment_cycles, dtype=float)
+    with_bfs = np.array(pair["ingestion_bfs"].increment_cycles, dtype=float)
+    assert with_bfs.sum() > ingest.sum()
+    if sampling == "edge":
+        # Edge sampling: similar ingestion cost per (equal-sized) increment.
+        assert ingest.max() <= 3.0 * ingest.min()
+    else:
+        # Snowball sampling: increment sizes grow monotonically (Table 1).
+        sizes = dataset.increment_sizes()
+        assert sum(sizes[-3:]) > sum(sizes[:3])
+    # The larger graph takes more total cycles than the smaller one would;
+    # sanity-check against a trivially small bound.
+    assert with_bfs.sum() > 10 * len(dataset.increments)

@@ -1,0 +1,39 @@
+"""E1 -- Table 1: edges per streaming increment for the four dataset configs.
+
+Regenerates the paper's Table 1: for 50 K-class and 500 K-class graphs under
+edge and snowball sampling, the number of edges delivered by each of the ten
+streaming increments and the final edge count.  The benchmark times dataset
+generation + sampling; the printed table is the reproduced artefact.
+"""
+
+from conftest import BENCH_SEED, BENCH_SCALE, dataset_50k, dataset_500k
+
+from repro.analysis.tables import render_table, table1_rows
+
+
+def _generate_all():
+    return [
+        dataset_50k("edge"),
+        dataset_50k("snowball"),
+        dataset_500k("edge"),
+        dataset_500k("snowball"),
+    ]
+
+
+def test_table1_dataset_increments(benchmark):
+    datasets = benchmark.pedantic(_generate_all, rounds=1, iterations=1)
+    rows = table1_rows(datasets)
+    print(f"\nTable 1 (scale={BENCH_SCALE}, seed={BENCH_SEED}):")
+    print(render_table(rows))
+
+    # Shape assertions mirroring the published table.
+    for dataset, row in zip(datasets, rows):
+        sizes = dataset.increment_sizes()
+        assert len(sizes) == 10
+        assert sum(sizes) == dataset.total_edges
+        if dataset.sampling == "edge":
+            # Edge sampling: every increment has (nearly) the same size.
+            assert max(sizes) - min(sizes) <= 1
+        else:
+            # Snowball sampling: later increments are larger than early ones.
+            assert sum(sizes[-3:]) > sum(sizes[:3])

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Vicinity vs Random ghost allocation on a skewed graph (paper Figure 5).
+
+Hub vertices of an R-MAT graph overflow their root edge lists quickly, so
+thousands of ghost blocks get allocated while the stream runs.  This example
+contrasts the two allocation policies the paper describes:
+
+* the Vicinity Allocator places every ghost within two hops of the compute
+  cell that asked for it, keeping intra-vertex (root -> ghost) traffic local;
+* the Random Allocator scatters ghosts uniformly over the chip.
+
+The script prints, for both policies, the mean ghost distance, total NoC
+hops, cycles and energy, plus an ASCII heat map of where ghosts ended up.
+
+Run with:  python examples/allocator_comparison.py
+"""
+
+from repro import AMCCADevice, ChipConfig, DynamicGraph, StreamingBFS
+from repro.analysis.tables import render_table
+from repro.datasets import generate_rmat
+from repro.datasets.sampling import edge_sampling_increments
+
+
+def ghost_heatmap(config: ChipConfig, placed: dict) -> str:
+    """Render ghosts-per-cell as a character grid (darker = more ghosts)."""
+    shades = " .:-=+*#%@"
+    peak = max(placed.values(), default=1)
+    rows = []
+    for y in range(config.height):
+        row = []
+        for x in range(config.width):
+            count = placed.get(config.cc_at(x, y), 0)
+            row.append(shades[min(len(shades) - 1, round(9 * count / peak))])
+        rows.append("".join(row))
+    return "\n".join(rows)
+
+
+def run(allocator: str):
+    chip = ChipConfig(width=16, height=16, edge_list_capacity=8)
+    edges = generate_rmat(scale=10, edge_factor=10, seed=3)
+    increments = edge_sampling_increments(edges, 5, seed=3)
+
+    device = AMCCADevice(chip)
+    graph = DynamicGraph(device, 1 << 10, seed=3, ghost_allocator=allocator)
+    bfs = StreamingBFS(root=0)
+    graph.attach(bfs)
+    bfs.seed(graph, root=0)
+    for increment in increments:
+        graph.stream_increment(increment)
+
+    report = graph.ghost_report()
+    stats = device.stats()
+    energy = device.energy_report()
+    row = {
+        "Allocator": allocator,
+        "Ghost blocks": report["ghost_blocks"],
+        "Mean ghost distance (hops)": round(report["mean_ghost_distance"], 2),
+        "Max chain depth": report["max_depth"],
+        "Total NoC hops": stats.hops,
+        "Cycles": stats.cycles,
+        "Energy (uJ)": round(energy.total_uj, 1),
+    }
+    heatmap = ghost_heatmap(chip, graph.ghost_allocator.placed)
+    return row, heatmap
+
+
+def main() -> None:
+    rows = []
+    heatmaps = {}
+    for allocator in ("vicinity", "random"):
+        print(f"running with the {allocator} allocator...")
+        row, heatmap = run(allocator)
+        rows.append(row)
+        heatmaps[allocator] = heatmap
+
+    print()
+    print(render_table(rows))
+    for allocator, heatmap in heatmaps.items():
+        print(f"\nghost placement ({allocator}):")
+        print(heatmap)
+    print("\nThe vicinity allocator concentrates ghosts around the cells that "
+          "host hot vertices (short root->ghost paths); the random allocator "
+          "spreads them over the whole chip (longer intra-vertex paths, more "
+          "NoC hops and energy).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The paper's headline experiment, end to end, at laptop scale.
+
+Reproduces the measurement behind Figures 8/9 and Table 2 for one dataset
+configuration: stream a GraphChallenge-like graph twice -- once with BFS
+propagation disabled ("Streaming Edges") and once with it enabled
+("Streaming Edges with BFS") -- and report per-increment cycles, the
+activation profile, and the energy/time estimate of the 1 GHz chip.
+
+Run with:  python examples/streaming_graphchallenge.py [edge|snowball]
+"""
+
+import sys
+
+from repro.analysis.experiments import run_ingestion_bfs_pair
+from repro.analysis.figures import activation_figure, increment_figure, render_ascii_plot
+from repro.analysis.tables import render_table, table2_rows
+from repro.arch.config import ChipConfig
+from repro.datasets import make_streaming_dataset
+
+
+def main() -> None:
+    sampling = sys.argv[1] if len(sys.argv) > 1 else "snowball"
+    if sampling not in ("edge", "snowball"):
+        raise SystemExit("usage: streaming_graphchallenge.py [edge|snowball]")
+
+    # A 1/50-scale 50K-class graph on a 16x16 chip keeps the demo under a minute.
+    dataset = make_streaming_dataset(
+        num_vertices=1000, num_edges=20_000, sampling=sampling, seed=7,
+        name=f"graphchallenge-demo-{sampling}",
+    )
+    chip = ChipConfig(width=16, height=16)
+    print(f"streaming {dataset.total_edges} edges ({sampling} sampling) "
+          f"over {dataset.num_increments} increments on a "
+          f"{chip.width}x{chip.height} chip...")
+
+    pair = run_ingestion_bfs_pair(dataset, chip=chip)
+
+    # Figure 8/9 analogue: cycles per increment for both configurations.
+    print()
+    print(render_ascii_plot(increment_figure(pair), max_points=10))
+
+    rows = [
+        {
+            "Increment": i + 1,
+            "Edges": len(dataset.increments[i]),
+            "Streaming Edges": pair["ingestion"].increment_cycles[i],
+            "Streaming Edges with BFS": pair["ingestion_bfs"].increment_cycles[i],
+        }
+        for i in range(dataset.num_increments)
+    ]
+    print()
+    print(render_table(rows))
+
+    # Figure 6/7 analogue: chip activation while streaming with BFS.
+    print()
+    print(render_ascii_plot(activation_figure(pair["ingestion_bfs"]), max_points=120))
+
+    # Table 2 analogue: energy and time.
+    print()
+    print(render_table(table2_rows({dataset.name: pair})))
+    with_bfs = pair["ingestion_bfs"]
+    print(f"\nBFS reached {with_bfs.bfs_reached} of {dataset.num_vertices} vertices; "
+          f"ghost blocks allocated: {with_bfs.ghost_report['ghost_blocks']}")
+
+
+if __name__ == "__main__":
+    main()

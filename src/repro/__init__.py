@@ -1,0 +1,60 @@
+"""repro: streaming dynamic graph processing on a message-driven simulator.
+
+A from-scratch Python reproduction of *"Structures and Techniques for
+Streaming Dynamic Graph Processing on Decentralized Message-Driven Systems"*
+(ICPP 2024): the AM-CCA chip simulator, the diffusive programming runtime
+(actions, futures, continuations, termination detection), the Recursively
+Parallel Vertex Object, streaming dynamic BFS and its extensions, the
+GraphChallenge-like streaming datasets, and the analysis code that
+regenerates every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import (AMCCADevice, ChipConfig, DynamicGraph, StreamingBFS,
+                       make_streaming_dataset)
+
+    dataset = make_streaming_dataset(num_vertices=256, num_edges=2048,
+                                     sampling="edge", seed=1)
+    device = AMCCADevice(ChipConfig.small())
+    graph = DynamicGraph(device, dataset.num_vertices)
+    bfs = StreamingBFS(root=0)
+    graph.attach(bfs)
+    bfs.seed(graph, root=0)
+    for increment in dataset.increments:
+        result = graph.stream_increment(increment)
+        print(result.cycles, "cycles")
+    print(bfs.results(graph))
+"""
+
+from repro.arch import ChipConfig, EnergyModel
+from repro.runtime import AMCCADevice, Terminator
+from repro.graph import DynamicGraph, Edge
+from repro.algorithms import (
+    JaccardCoefficient,
+    PageRankDelta,
+    StreamingBFS,
+    StreamingConnectedComponents,
+    StreamingSSSP,
+    TriangleCounting,
+)
+from repro.datasets import make_streaming_dataset, paper_dataset_configs
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChipConfig",
+    "EnergyModel",
+    "AMCCADevice",
+    "Terminator",
+    "DynamicGraph",
+    "Edge",
+    "JaccardCoefficient",
+    "PageRankDelta",
+    "StreamingBFS",
+    "StreamingConnectedComponents",
+    "StreamingSSSP",
+    "TriangleCounting",
+    "make_streaming_dataset",
+    "paper_dataset_configs",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Streaming, message-driven graph algorithms.
+
+The paper demonstrates its structures with **streaming dynamic BFS** and
+names Triangle Counting, Jaccard Coefficient and Stochastic Block Partition
+as natural follow-on algorithms.  This package provides:
+
+* :class:`~repro.algorithms.bfs.StreamingBFS` -- the paper's application
+  (Listings 4 and 5): every inserted edge may trigger an incremental level
+  relaxation that diffuses along the new edge, never recomputing from
+  scratch.
+* :class:`~repro.algorithms.sssp.StreamingSSSP` -- weighted generalisation
+  of BFS (incremental single-source shortest paths).
+* :class:`~repro.algorithms.components.StreamingConnectedComponents` --
+  min-label propagation maintained under edge insertions.
+* :class:`~repro.algorithms.pagerank.PageRankDelta` -- asynchronous
+  push-based PageRank maintained by residual diffusion.
+* :class:`~repro.algorithms.triangles.TriangleCounting` and
+  :class:`~repro.algorithms.jaccard.JaccardCoefficient` -- query diffusions
+  run over the ingested graph (the paper's future-work algorithms).
+"""
+
+from repro.algorithms.base import QueryAlgorithm, StreamingAlgorithm
+from repro.algorithms.bfs import StreamingBFS
+from repro.algorithms.components import StreamingConnectedComponents
+from repro.algorithms.jaccard import JaccardCoefficient
+from repro.algorithms.pagerank import PageRankDelta
+from repro.algorithms.sssp import StreamingSSSP
+from repro.algorithms.triangles import TriangleCounting
+
+__all__ = [
+    "QueryAlgorithm",
+    "StreamingAlgorithm",
+    "StreamingBFS",
+    "StreamingConnectedComponents",
+    "JaccardCoefficient",
+    "PageRankDelta",
+    "StreamingSSSP",
+    "TriangleCounting",
+]

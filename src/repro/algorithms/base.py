@@ -1,0 +1,108 @@
+"""Base classes for message-driven graph algorithms.
+
+Two flavours exist:
+
+* :class:`StreamingAlgorithm` -- maintains its result *while* edges stream
+  in.  The ingestion action calls :meth:`StreamingAlgorithm.on_edge_inserted`
+  for every edge that lands in a block, and the algorithm's own actions keep
+  diffusing updates until the terminator fires.  BFS, SSSP, connected
+  components and PageRank-delta are of this kind.
+* :class:`QueryAlgorithm` -- runs a diffusion over the already-ingested graph
+  on demand (triangle counting, Jaccard).  These are the paper's future-work
+  algorithms; they reuse the same actions/futures machinery but are launched
+  from the host after ingestion quiesces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, TYPE_CHECKING
+
+import networkx as nx
+
+from repro.runtime.actions import ActionContext
+from repro.graph.rpvo import EdgeSlot, VertexBlock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graph.graph import DynamicGraph
+    from repro.runtime.device import RunResult
+
+
+class StreamingAlgorithm:
+    """An algorithm whose result is maintained incrementally during streaming."""
+
+    #: short identifier used in action names and reports
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.graph: "DynamicGraph | None" = None
+
+    # -- wiring ---------------------------------------------------------
+    def register(self, graph: "DynamicGraph") -> None:
+        """Register this algorithm's actions on the graph's device."""
+        self.graph = graph
+
+    def init_state(self, block: VertexBlock) -> None:
+        """Initialise this algorithm's per-block state fields."""
+        raise NotImplementedError
+
+    # -- streaming hook ---------------------------------------------------
+    def on_edge_inserted(self, ctx: ActionContext, block: VertexBlock, slot: EdgeSlot) -> None:
+        """Called by ``insert-edge-action`` right after an edge lands in ``block``."""
+        raise NotImplementedError
+
+    # -- results ----------------------------------------------------------
+    def results(self, graph: "DynamicGraph") -> Dict[int, Any]:
+        """Read the algorithm's converged per-vertex result from the chip."""
+        raise NotImplementedError
+
+    def reference(self, nx_graph: "nx.DiGraph | nx.Graph", **kwargs) -> Dict[int, Any]:
+        """Ground-truth result computed with NetworkX on the same edge set."""
+        raise NotImplementedError
+
+    # -- common helpers ---------------------------------------------------
+    def _forward_to_ghosts(self, ctx: ActionContext, block: VertexBlock,
+                           action: str, *operands: Any) -> None:
+        """Propagate an update down the block's ghost hierarchy.
+
+        Fulfilled ghost futures get an immediate message; pending ones get a
+        closure queued on the future so the update is not lost (the same
+        mechanism Listing 6 uses for overflowing edge insertions).
+        """
+        for i, future in enumerate(block.ghosts):
+            if future.is_fulfilled:
+                ctx.propagate(action, future.get(), *operands)
+            elif future.is_pending:
+                def resume(resume_ctx: ActionContext, _future=future,
+                           _action=action, _ops=operands) -> None:
+                    resume_ctx.propagate(_action, _future.get(), *_ops)
+
+                future.enqueue(resume)
+
+
+class QueryAlgorithm:
+    """An algorithm launched over the ingested graph after it quiesces."""
+
+    name = "abstract-query"
+
+    def __init__(self) -> None:
+        self.graph: "DynamicGraph | None" = None
+
+    def register(self, graph: "DynamicGraph") -> None:
+        self.graph = graph
+
+    def init_state(self, block: VertexBlock) -> None:
+        raise NotImplementedError
+
+    def on_edge_inserted(self, ctx: ActionContext, block: VertexBlock, slot: EdgeSlot) -> None:
+        """Query algorithms do nothing during streaming by default."""
+        return None
+
+    def run(self, graph: "DynamicGraph", **kwargs) -> "RunResult":
+        """Launch the query diffusion and run the chip until it terminates."""
+        raise NotImplementedError
+
+    def results(self, graph: "DynamicGraph") -> Dict[Any, Any]:
+        raise NotImplementedError
+
+    def reference(self, nx_graph: "nx.DiGraph | nx.Graph", **kwargs) -> Dict[Any, Any]:
+        raise NotImplementedError

@@ -1,0 +1,122 @@
+"""Streaming dynamic Breadth-First Search (the paper's application).
+
+Two actions implement the algorithm (paper Listings 4 and 5):
+
+* ``insert-edge-action`` (owned by :mod:`repro.graph.ingest`) calls
+  :meth:`StreamingBFS.on_edge_inserted` after storing an edge; if the source
+  vertex already has a valid BFS level the destination is informed with a
+  ``bfs-action`` carrying ``level + 1``.
+* ``bfs-action`` relaxes a vertex's level: if the incoming level improves on
+  the stored one, the vertex adopts it and diffuses ``level + 1`` along every
+  locally stored edge, plus the unchanged level down its ghost hierarchy so
+  ghost blocks stay in sync with the root.
+
+Because level relaxation is monotone, the asynchronous, unordered delivery
+of actions cannot produce a wrong result -- only extra work -- and previously
+computed levels are updated incrementally, never recomputed from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+import networkx as nx
+
+from repro.algorithms.base import StreamingAlgorithm
+from repro.graph.rpvo import EdgeSlot, INFINITY, VertexBlock
+from repro.runtime.actions import ActionContext, action_cost
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graph.graph import DynamicGraph
+
+#: Registered name of the BFS relaxation action (paper: ``bfs-action``).
+BFS_ACTION = "bfs-action"
+
+
+class StreamingBFS(StreamingAlgorithm):
+    """Incremental BFS levels maintained under streaming edge insertions."""
+
+    name = "bfs"
+    state_key = "level"
+
+    def __init__(self, root: Optional[int] = None) -> None:
+        super().__init__()
+        self.root = root
+        # counters for reports / tests
+        self.relaxations = 0
+        self.stale_messages = 0
+
+    # ------------------------------------------------------------------
+    def register(self, graph: "DynamicGraph") -> None:
+        super().register(graph)
+        graph.device.register_action(BFS_ACTION, self.bfs_action, size_words=3)
+
+    def init_state(self, block: VertexBlock) -> None:
+        block.state.setdefault(self.state_key, INFINITY)
+
+    def seed(self, graph: "DynamicGraph", root: Optional[int] = None,
+             level: int = 0, via_action: bool = False) -> None:
+        """Give the BFS root its level.
+
+        ``via_action=False`` (default) writes the level host-side before
+        streaming starts, matching the paper's setup where the root has a
+        valid level when edges begin to arrive.  ``via_action=True`` sends a
+        ``bfs-action`` through the chip instead, which also relaxes any
+        already-present edges.
+        """
+        root = self.root if root is None else root
+        if root is None:
+            raise ValueError("a BFS root vertex must be provided")
+        self.root = root
+        if via_action:
+            graph.device.send(BFS_ACTION, graph.address_of(root), level)
+        else:
+            graph.root_block(root).set_state(self.state_key, level)
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+    def on_edge_inserted(self, ctx: ActionContext, block: VertexBlock, slot: EdgeSlot) -> None:
+        """Listing 4: inform the destination only if this block has a valid level."""
+        level = block.get_state(self.state_key, INFINITY)
+        ctx.charge(action_cost("compare"))
+        if level != INFINITY:
+            ctx.propagate(BFS_ACTION, slot.dst_addr, level + 1)
+
+    def bfs_action(self, ctx: ActionContext, block: VertexBlock, level: int) -> None:
+        """Listing 5: relax the level and diffuse along every stored edge."""
+        current = block.get_state(self.state_key, INFINITY)
+        ctx.charge(action_cost("compare"))
+        if level >= current:
+            self.stale_messages += 1
+            return
+        block.set_state(self.state_key, level)
+        ctx.charge(action_cost("state_update"))
+        self.relaxations += 1
+        for slot in block.edges:
+            ctx.charge(action_cost("edge_scan"))
+            ctx.propagate(BFS_ACTION, slot.dst_addr, level + 1)
+        # Keep ghost blocks of this vertex in sync (same level, not +1).
+        self._forward_to_ghosts(ctx, block, BFS_ACTION, level)
+
+    # ------------------------------------------------------------------
+    # Results and verification
+    # ------------------------------------------------------------------
+    def results(self, graph: "DynamicGraph") -> Dict[int, int]:
+        """Vertex id -> BFS level for every reached vertex."""
+        out: Dict[int, int] = {}
+        for vid in range(graph.num_vertices):
+            level = graph.vertex_state(vid, self.state_key, INFINITY)
+            if level != INFINITY:
+                out[vid] = level
+        return out
+
+    def reference(self, nx_graph: "nx.DiGraph | nx.Graph",
+                  root: Optional[int] = None) -> Dict[int, int]:
+        """Ground truth: shortest-path lengths from the root (NetworkX)."""
+        root = self.root if root is None else root
+        if root is None:
+            raise ValueError("a BFS root vertex must be provided")
+        if root not in nx_graph:
+            return {}
+        return dict(nx.single_source_shortest_path_length(nx_graph, root))

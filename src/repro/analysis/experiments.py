@@ -1,0 +1,141 @@
+"""Shared experiment driver for the paper's evaluation.
+
+Every table and figure in the paper's evaluation is a view over the same
+basic run: stream a GraphChallenge-like dataset into the chip, increment by
+increment, either with BFS propagation enabled ("Streaming Edges with BFS")
+or disabled ("Streaming Edges" -- ingestion only), and record
+
+* the cycles each increment takes (Figures 8 and 9),
+* the per-cycle activation of the compute cells (Figures 6 and 7),
+* the event counts that feed the energy/time model (Table 2).
+
+:func:`run_streaming_experiment` performs one such run;
+:func:`run_ingestion_bfs_pair` performs the paired runs the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.arch.config import ChipConfig
+from repro.arch.energy import EnergyModel, EnergyReport
+from repro.algorithms.bfs import StreamingBFS
+from repro.datasets.streaming import StreamingDataset
+from repro.graph.graph import DynamicGraph
+from repro.runtime.device import AMCCADevice
+
+
+@dataclass
+class IncrementSeries:
+    """Per-increment cycle counts for one configuration (one curve of Fig 8/9)."""
+
+    label: str
+    cycles: List[int] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return sum(self.cycles)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one streaming run."""
+
+    dataset_name: str
+    sampling: str
+    with_bfs: bool
+    chip: ChipConfig
+    increment_cycles: List[int]
+    activation_percent: np.ndarray
+    energy: EnergyReport
+    summary: Dict[str, float]
+    ghost_report: Dict[str, object]
+    bfs_reached: int = 0
+    edges_stored: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return int(sum(self.increment_cycles))
+
+    def series(self) -> IncrementSeries:
+        label = "Streaming Edges with BFS" if self.with_bfs else "Streaming Edges"
+        return IncrementSeries(label=label, cycles=list(self.increment_cycles))
+
+
+def run_streaming_experiment(
+    dataset: StreamingDataset,
+    *,
+    chip: Optional[ChipConfig] = None,
+    with_bfs: bool = True,
+    root: int = 0,
+    ghost_allocator: str = "vicinity",
+    placement: str = "round_robin",
+    capacity: Optional[int] = None,
+    seed: Optional[int] = 17,
+    energy_model: Optional[EnergyModel] = None,
+    trace_every: int = 0,
+    max_cycles_per_increment: Optional[int] = None,
+) -> ExperimentResult:
+    """Stream ``dataset`` through a chip and collect the paper's measurements.
+
+    ``with_bfs=False`` reproduces the paper's separate experiment that
+    disables the subsequent propagation of ``bfs-action`` when an edge is
+    inserted, isolating the streaming-ingestion cost.
+    """
+    chip = chip or ChipConfig.paper_chip()
+    device = AMCCADevice(chip, trace_every=trace_every, energy_model=energy_model)
+    graph = DynamicGraph(
+        device,
+        dataset.num_vertices,
+        capacity=capacity,
+        placement=placement,
+        ghost_allocator=ghost_allocator,
+        seed=seed,
+        ingest_only=not with_bfs,
+    )
+    bfs = StreamingBFS(root=root)
+    graph.attach(bfs)
+    bfs.seed(graph, root=root)
+
+    increment_cycles: List[int] = []
+    for i, increment in enumerate(dataset.increments, start=1):
+        result = graph.stream_increment(
+            increment,
+            phase=f"increment-{i}",
+            max_cycles=max_cycles_per_increment,
+        )
+        increment_cycles.append(result.cycles)
+
+    stats = device.stats()
+    energy = device.energy_report()
+    reached = len(bfs.results(graph)) if with_bfs else 0
+    return ExperimentResult(
+        dataset_name=dataset.name,
+        sampling=dataset.sampling,
+        with_bfs=with_bfs,
+        chip=chip,
+        increment_cycles=increment_cycles,
+        activation_percent=stats.activation_percent(),
+        energy=energy,
+        summary=stats.summary(),
+        ghost_report=graph.ghost_report(),
+        bfs_reached=reached,
+        edges_stored=graph.total_edges_stored(),
+    )
+
+
+def run_ingestion_bfs_pair(
+    dataset: StreamingDataset,
+    **kwargs,
+) -> Dict[str, ExperimentResult]:
+    """The paper's paired measurement: ingestion-only and ingestion+BFS.
+
+    Returns ``{"ingestion": ..., "ingestion_bfs": ...}``; both runs stream the
+    identical increments on identically configured chips.
+    """
+    ingestion = run_streaming_experiment(dataset, with_bfs=False, **kwargs)
+    ingestion_bfs = run_streaming_experiment(dataset, with_bfs=True, **kwargs)
+    return {"ingestion": ingestion, "ingestion_bfs": ingestion_bfs}

@@ -1,0 +1,113 @@
+"""Figure reproductions: per-increment cycles and per-cycle activation.
+
+* :func:`increment_figure` -- the data behind Figures 8 and 9: for one
+  dataset, the cycles per increment for "Streaming Edges" (ingestion only)
+  and "Streaming Edges with BFS".
+* :func:`activation_figure` -- the data behind Figures 6 and 7: the percent
+  of compute cells active per cycle for a whole run.
+* :func:`render_ascii_plot` -- a terminal rendering used by the examples and
+  the CLI so the figures can be eyeballed without matplotlib (which is not a
+  dependency of this project).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.experiments import ExperimentResult
+
+
+@dataclass
+class FigureData:
+    """A named collection of series, ready to plot or assert on."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def add(self, label: str, values: Sequence[float]) -> None:
+        self.series[label] = np.asarray(values, dtype=float)
+
+
+def increment_figure(pair: Dict[str, ExperimentResult], title: str = "") -> FigureData:
+    """Figure 8/9 data from a paired ingestion / ingestion+BFS experiment."""
+    ingestion = pair["ingestion"]
+    with_bfs = pair["ingestion_bfs"]
+    fig = FigureData(
+        title=title or f"Cycles per increment ({ingestion.dataset_name})",
+        x_label="Increment",
+        y_label="Cycles",
+    )
+    fig.add("Streaming Edges", ingestion.increment_cycles)
+    fig.add("Streaming Edges with BFS", with_bfs.increment_cycles)
+    return fig
+
+
+def activation_figure(result: ExperimentResult, title: str = "") -> FigureData:
+    """Figure 6/7 data: percent of cells active per cycle for one run."""
+    kind = "Ingestion with BFS" if result.with_bfs else "Ingestion Only"
+    fig = FigureData(
+        title=title or f"{kind}: cell activation ({result.dataset_name})",
+        x_label="Cycles",
+        y_label="Percent of Cells Active",
+    )
+    fig.add("Cells Active Percent", result.activation_percent)
+    return fig
+
+
+def downsample_series(values: Sequence[float], max_points: int = 200) -> np.ndarray:
+    """Downsample a long per-cycle series by block averaging (for plotting)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size <= max_points or max_points <= 0:
+        return arr
+    block = int(np.ceil(arr.size / max_points))
+    pad = (-arr.size) % block
+    if pad:
+        arr = np.concatenate([arr, np.full(pad, arr[-1])])
+    return arr.reshape(-1, block).mean(axis=1)
+
+
+def render_ascii_plot(
+    fig: FigureData,
+    width: int = 72,
+    height: int = 16,
+    max_points: Optional[int] = None,
+) -> str:
+    """Render a FigureData as a rough ASCII line plot."""
+    lines: List[str] = [fig.title, ""]
+    markers = "*o+x#%"
+    all_values = [v for series in fig.series.values() for v in series if np.isfinite(v)]
+    if not all_values:
+        return fig.title + "\n(no data)"
+    y_max = max(all_values) or 1.0
+    y_min = min(0.0, min(all_values))
+    span = (y_max - y_min) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for s_idx, (label, series) in enumerate(fig.series.items()):
+        data = downsample_series(series, max_points or width)
+        if data.size == 0:
+            continue
+        marker = markers[s_idx % len(markers)]
+        for i, value in enumerate(data):
+            x = int(i * (width - 1) / max(1, data.size - 1))
+            y = int((value - y_min) / span * (height - 1))
+            row = height - 1 - min(max(y, 0), height - 1)
+            canvas[row][x] = marker
+
+    y_axis_width = len(f"{y_max:.0f}")
+    for r, row in enumerate(canvas):
+        y_value = y_max - (r / (height - 1)) * span if height > 1 else y_max
+        prefix = f"{y_value:>{y_axis_width}.0f} |" if r % 4 == 0 else " " * y_axis_width + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * y_axis_width + " +" + "-" * width)
+    lines.append(" " * (y_axis_width + 2) + f"{fig.x_label} ->")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {label}" for i, label in enumerate(fig.series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

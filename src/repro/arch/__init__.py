@@ -1,0 +1,53 @@
+"""AM-CCA architecture substrate.
+
+This package models the Asynchronous Message-driven Continuum Computer
+Architecture (AM-CCA) chip used by the paper as its evaluation substrate:
+
+* a 2-D mesh of homogeneous :class:`~repro.arch.cell.ComputeCell` objects,
+  each with local scratchpad memory and compute logic,
+* a network-on-chip (:mod:`repro.arch.noc`) where a message traverses one
+  mesh hop per simulation cycle using deadlock-free, minimal, turn-restricted
+  dimension-ordered routing (:mod:`repro.arch.routing`),
+* IO channels along the chip borders whose IO cells stream edges into the
+  chip, one per cycle per IO cell (:mod:`repro.arch.io_system`),
+* a cycle-driven simulator (:mod:`repro.arch.simulator`) enforcing the
+  paper's rule that a compute cell performs a single operation per cycle --
+  either one action instruction or the creation/staging of one message,
+* per-cycle activation statistics (:mod:`repro.arch.stats`) and a
+  parameterized energy/time model (:mod:`repro.arch.energy`).
+"""
+
+from repro.arch.address import Address, NULL_ADDRESS
+from repro.arch.config import ChipConfig
+from repro.arch.cell import ComputeCell, Task
+from repro.arch.energy import EnergyModel, EnergyReport
+from repro.arch.io_system import IOCell, IOSystem
+from repro.arch.message import Message
+from repro.arch.noc import CycleAccurateNoC, LatencyNoC, build_noc
+from repro.arch.routing import RoutingPolicy, XYRouting, YXRouting, make_routing
+from repro.arch.simulator import Simulator
+from repro.arch.stats import SimStats
+from repro.arch.trace import TraceRecorder
+
+__all__ = [
+    "Address",
+    "NULL_ADDRESS",
+    "ChipConfig",
+    "ComputeCell",
+    "Task",
+    "EnergyModel",
+    "EnergyReport",
+    "IOCell",
+    "IOSystem",
+    "Message",
+    "CycleAccurateNoC",
+    "LatencyNoC",
+    "build_noc",
+    "RoutingPolicy",
+    "XYRouting",
+    "YXRouting",
+    "make_routing",
+    "Simulator",
+    "SimStats",
+    "TraceRecorder",
+]

@@ -1,0 +1,216 @@
+"""Compute cells: the homogeneous building block of the AM-CCA chip.
+
+A compute cell (CC) owns a local scratchpad memory, a task queue of pending
+action invocations and an output staging queue of messages waiting to enter
+the network.  Per simulation cycle a CC performs exactly one operation:
+
+* execute one instruction of the action currently in progress, or
+* create and stage one new outgoing message (the cost of ``propagate``), or
+* start the next queued task (which counts as executing its first
+  instruction).
+
+This mirrors the paper's execution rule ("a single CC can perform either of
+the two operations: a computing instruction contained in the action, or the
+creation and staging of a new message when propagate is called").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.arch.address import Address
+from repro.arch.message import Message
+
+#: A task's ``run`` callable returns the instruction cost of the action body
+#: and the list of messages it wants to propagate.
+TaskResult = Tuple[int, List[Message]]
+
+
+class Task:
+    """A unit of work queued on a compute cell.
+
+    ``run`` executes the action body against the cell's local memory and
+    returns ``(instruction_cost, outgoing_messages)``.  The cell then charges
+    ``instruction_cost`` compute cycles and one staging cycle per outgoing
+    message, so simulated time reflects the amount of work the action did
+    even though the Python body runs atomically.
+    """
+
+    __slots__ = ("run", "label")
+
+    def __init__(self, run: Callable[[], TaskResult], label: str = "") -> None:
+        self.run = run
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Task({self.label or 'anonymous'})"
+
+
+class ComputeCell:
+    """A single compute cell: memory + logic + network port.
+
+    The cell's memory is a dictionary from object id to Python object; the
+    pair ``(cc_id, obj_id)`` forms a global :class:`~repro.arch.address.Address`.
+    Memory occupancy is tracked in words so allocation pressure and the
+    energy model can be driven from it.
+    """
+
+    __slots__ = (
+        "cc_id",
+        "x",
+        "y",
+        "memory",
+        "_next_obj_id",
+        "memory_words",
+        "task_queue",
+        "staging",
+        "_held_messages",
+        "_remaining_instructions",
+        "continuations",
+        "_next_cont_id",
+        "instructions_executed",
+        "messages_staged",
+        "tasks_executed",
+        "allocations",
+        "busy_cycles",
+    )
+
+    def __init__(self, cc_id: int, x: int, y: int) -> None:
+        self.cc_id = cc_id
+        self.x = x
+        self.y = y
+        self.memory: Dict[int, Any] = {}
+        self._next_obj_id = 0
+        self.memory_words = 0
+        self.task_queue: Deque[Task] = deque()
+        self.staging: Deque[Message] = deque()
+        # Messages produced by the in-progress action; they move to the
+        # staging queue once its instruction cycles have been charged.
+        self._held_messages: List[Message] = []
+        self._remaining_instructions = 0
+        # Continuation table for call/cc-style asynchronous control transfer.
+        self.continuations: Dict[int, Callable[[Any], TaskResult]] = {}
+        self._next_cont_id = 0
+        # Counters for the statistics / energy model.
+        self.instructions_executed = 0
+        self.messages_staged = 0
+        self.tasks_executed = 0
+        self.allocations = 0
+        self.busy_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def allocate(self, obj: Any, words: int = 1) -> Address:
+        """Allocate ``obj`` in this cell's memory and return its global address."""
+        obj_id = self._next_obj_id
+        self._next_obj_id += 1
+        self.memory[obj_id] = obj
+        self.memory_words += max(1, words)
+        self.allocations += 1
+        return Address(self.cc_id, obj_id)
+
+    def deallocate(self, address: Address, words: int = 1) -> None:
+        """Free an object previously allocated on this cell."""
+        if address.cc_id != self.cc_id:
+            raise ValueError(f"address {address} does not belong to cell {self.cc_id}")
+        del self.memory[address.obj_id]
+        self.memory_words -= max(1, words)
+
+    def get(self, address: Address) -> Any:
+        """Return the object stored at ``address`` (must be local)."""
+        if address.cc_id != self.cc_id:
+            raise ValueError(
+                f"cell {self.cc_id} cannot dereference remote address {address}"
+            )
+        return self.memory[address.obj_id]
+
+    def objects(self) -> List[Any]:
+        """All objects currently resident in this cell's memory."""
+        return list(self.memory.values())
+
+    # ------------------------------------------------------------------
+    # Continuations
+    # ------------------------------------------------------------------
+    def register_continuation(self, fn: Callable[[Any], TaskResult]) -> int:
+        """Store a continuation body and return its local id."""
+        cont_id = self._next_cont_id
+        self._next_cont_id += 1
+        self.continuations[cont_id] = fn
+        return cont_id
+
+    def pop_continuation(self, cont_id: int) -> Callable[[Any], TaskResult]:
+        """Remove and return a registered continuation body."""
+        return self.continuations.pop(cont_id)
+
+    # ------------------------------------------------------------------
+    # Work
+    # ------------------------------------------------------------------
+    def enqueue_task(self, task: Task) -> None:
+        """Queue a task (an action invocation) for execution on this cell."""
+        self.task_queue.append(task)
+
+    @property
+    def has_work(self) -> bool:
+        """True if the cell would perform an operation next cycle."""
+        return bool(
+            self._remaining_instructions > 0 or self.staging or self.task_queue
+        )
+
+    @property
+    def queued_tasks(self) -> int:
+        return len(self.task_queue)
+
+    def step(self) -> Optional[str]:
+        """Perform this cell's single operation for the current cycle.
+
+        Returns ``"compute"`` if an instruction was executed, ``"stage"`` if
+        an outgoing message is ready to be injected (the caller pops it from
+        :attr:`staging` and hands it to the NoC), or ``None`` if the cell was
+        idle this cycle.
+        """
+        # 1. Finish the instructions of the action in progress.
+        if self._remaining_instructions > 0:
+            self._remaining_instructions -= 1
+            self.instructions_executed += 1
+            self.busy_cycles += 1
+            if self._remaining_instructions == 0 and self._held_messages:
+                self.staging.extend(self._held_messages)
+                self._held_messages = []
+            return "compute"
+
+        # 2. Drain the output staging queue (one message per cycle).
+        if self.staging:
+            self.messages_staged += 1
+            self.busy_cycles += 1
+            return "stage"
+
+        # 3. Start the next queued task.
+        if self.task_queue:
+            task = self.task_queue.popleft()
+            cost, messages = task.run()
+            if cost < 1:
+                cost = 1
+            self.tasks_executed += 1
+            self.instructions_executed += 1
+            self.busy_cycles += 1
+            self._remaining_instructions = cost - 1
+            if self._remaining_instructions == 0:
+                if messages:
+                    self.staging.extend(messages)
+            else:
+                self._held_messages = list(messages)
+            return "compute"
+
+        return None
+
+    def pop_staged(self) -> Message:
+        """Remove and return the message staged this cycle."""
+        return self.staging.popleft()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ComputeCell({self.cc_id} at ({self.x},{self.y}) "
+            f"objs={len(self.memory)} tasks={len(self.task_queue)})"
+        )

@@ -1,0 +1,79 @@
+"""Messages (active-message carriers) moving through the AM-CCA mesh.
+
+Every action invocation that crosses compute-cell boundaries is carried by a
+:class:`Message`.  A message names the action to invoke, the global address
+of the target object, and the operand payload.  The paper assumes 256-bit
+links so that the small messages of its applications fit in a single flit and
+traverse one hop per cycle; the NoC charges extra flits for oversized
+payloads (see :mod:`repro.arch.noc`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.arch.address import Address
+
+_msg_counter = itertools.count()
+
+
+@dataclass
+class Message:
+    """An active message in flight between two compute cells.
+
+    Parameters
+    ----------
+    src:
+        Compute cell that created (staged) the message.
+    dst:
+        Compute cell hosting the target object.
+    action:
+        Name of the registered action to invoke on delivery.
+    target:
+        Global address of the object the action operates on (may be ``None``
+        for cell-level system actions).
+    operands:
+        Positional operand payload delivered to the action handler.
+    size_words:
+        Payload size in 32-bit words, used for flit accounting.
+    """
+
+    src: int
+    dst: int
+    action: str
+    target: Optional[Address] = None
+    operands: Tuple = ()
+    size_words: int = 2
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+    created_cycle: int = -1
+    delivered_cycle: int = -1
+    hops: int = 0
+    #: position of the message while in flight (compute cell currently holding it)
+    position: int = -1
+    #: cycle of the last hop, used by the cycle-accurate NoC to prevent a
+    #: message from moving more than one hop per cycle.
+    last_moved: int = -1
+
+    def __post_init__(self) -> None:
+        self.position = self.src
+
+    @property
+    def latency(self) -> int:
+        """Delivery latency in cycles (valid once delivered)."""
+        if self.delivered_cycle < 0 or self.created_cycle < 0:
+            return -1
+        return self.delivered_cycle - self.created_cycle
+
+    def flits(self, max_words_per_flit: int) -> int:
+        """Number of flits needed to carry this message on the chip links."""
+        if max_words_per_flit <= 0:
+            return 1
+        return max(1, -(-self.size_words // max_words_per_flit))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Message(#{self.msg_id} {self.action} {self.src}->{self.dst} "
+            f"target={self.target} hops={self.hops})"
+        )

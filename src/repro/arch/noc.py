@@ -1,0 +1,179 @@
+"""Network-on-chip models for the AM-CCA mesh.
+
+Two fidelity levels are provided (a documented knob, see DESIGN.md):
+
+* :class:`CycleAccurateNoC` -- hop-by-hop movement.  Each directed mesh link
+  carries at most one message per cycle; messages queue FIFO at every link,
+  so congestion on hot links shows up as real delay.  This is the default
+  and is what all correctness tests and the paper-shaped benchmarks use.
+* :class:`LatencyNoC` -- contention-free model that delivers every message
+  after its minimal (Manhattan) delay.  Useful for very large inputs where
+  the qualitative behaviour is dominated by work counts rather than link
+  contention.
+
+Both models charge one hop per link traversal per flit to the statistics so
+the energy model sees identical accounting structure.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Deque, Dict, List, Tuple
+
+from repro.arch.config import ChipConfig
+from repro.arch.message import Message
+from repro.arch.routing import RoutingPolicy, make_routing
+from repro.arch.stats import SimStats
+
+
+class BaseNoC:
+    """Common interface of the NoC models."""
+
+    def __init__(self, config: ChipConfig, routing: RoutingPolicy, stats: SimStats) -> None:
+        self.config = config
+        self.routing = routing
+        self.stats = stats
+        self.in_flight = 0
+
+    # -- interface ------------------------------------------------------
+    def inject(self, msg: Message, cycle: int) -> None:
+        """Accept a newly staged message from a compute cell or IO cell."""
+        raise NotImplementedError
+
+    def advance(self, cycle: int) -> List[Message]:
+        """Advance the network by one cycle and return delivered messages."""
+        raise NotImplementedError
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no message is in flight."""
+        return self.in_flight == 0
+
+
+class CycleAccurateNoC(BaseNoC):
+    """Hop-by-hop mesh NoC with per-link serialization.
+
+    Each directed link ``(u, v)`` between neighbouring compute cells holds a
+    FIFO of messages waiting to traverse it.  Per cycle at most one message
+    crosses each link; everything else waits, which is how congestion around
+    hot vertices (the paper's snowball-sampling observation) materialises in
+    simulated cycles.
+    """
+
+    def __init__(self, config: ChipConfig, routing: RoutingPolicy, stats: SimStats) -> None:
+        super().__init__(config, routing, stats)
+        # link queues keyed by (from_cc, to_cc); created lazily.
+        self.links: Dict[Tuple[int, int], Deque[Message]] = {}
+        self._active_links: set = set()
+        # messages delivered without entering the mesh (src == dst)
+        self._local_deliveries: List[Message] = []
+
+    # ------------------------------------------------------------------
+    def _link(self, u: int, v: int) -> Deque[Message]:
+        key = (u, v)
+        q = self.links.get(key)
+        if q is None:
+            q = deque()
+            self.links[key] = q
+        return q
+
+    def inject(self, msg: Message, cycle: int) -> None:
+        msg.created_cycle = cycle if msg.created_cycle < 0 else msg.created_cycle
+        self.stats.messages_injected += 1
+        if msg.src == msg.dst:
+            # Local delivery: no network traversal, delivered next cycle.
+            msg.delivered_cycle = cycle
+            self._local_deliveries.append(msg)
+            return
+        nxt = self.routing.next_hop(msg.src, msg.dst)
+        q = self._link(msg.src, nxt)
+        msg.position = msg.src
+        msg.last_moved = cycle
+        q.append(msg)
+        self._active_links.add((msg.src, nxt))
+        self.in_flight += 1
+
+    def advance(self, cycle: int) -> List[Message]:
+        delivered: List[Message] = self._local_deliveries
+        self._local_deliveries = []
+
+        new_active: set = set()
+        flit_words = max(1, self.config.max_message_words)
+        # Snapshot so messages pushed onto downstream links this cycle do not
+        # move again in the same cycle (at most one hop per cycle).
+        for key in list(self._active_links):
+            q = self.links.get(key)
+            if not q:
+                continue
+            msg = q[0]
+            if msg.last_moved == cycle and msg.position != key[0]:
+                # already moved this cycle (defensive; should not trigger)
+                new_active.add(key)
+                continue
+            q.popleft()
+            u, v = key
+            # Traverse link u -> v.
+            hops = msg.flits(flit_words)
+            msg.hops += 1
+            self.stats.hops += hops
+            msg.position = v
+            msg.last_moved = cycle
+            if v == msg.dst:
+                msg.delivered_cycle = cycle
+                delivered.append(msg)
+                self.in_flight -= 1
+            else:
+                nxt = self.routing.next_hop(v, msg.dst)
+                nq = self._link(v, nxt)
+                nq.append(msg)
+                new_active.add((v, nxt))
+            if q:
+                new_active.add(key)
+        self._active_links = new_active
+        self.stats.link_busy += len(new_active)
+        return delivered
+
+    @property
+    def is_empty(self) -> bool:
+        return self.in_flight == 0 and not self._local_deliveries
+
+
+class LatencyNoC(BaseNoC):
+    """Contention-free NoC: delivery after exactly Manhattan-distance cycles."""
+
+    def __init__(self, config: ChipConfig, routing: RoutingPolicy, stats: SimStats) -> None:
+        super().__init__(config, routing, stats)
+        self._heap: List[Tuple[int, int, Message]] = []
+        self._seq = itertools.count()
+
+    def inject(self, msg: Message, cycle: int) -> None:
+        msg.created_cycle = cycle if msg.created_cycle < 0 else msg.created_cycle
+        self.stats.messages_injected += 1
+        dist = self.config.manhattan(msg.src, msg.dst)
+        flit_words = max(1, self.config.max_message_words)
+        hops = dist * msg.flits(flit_words)
+        msg.hops = dist
+        self.stats.hops += hops
+        deliver_at = cycle + max(1, dist)
+        heapq.heappush(self._heap, (deliver_at, next(self._seq), msg))
+        self.in_flight += 1
+
+    def advance(self, cycle: int) -> List[Message]:
+        delivered: List[Message] = []
+        while self._heap and self._heap[0][0] <= cycle:
+            _, _, msg = heapq.heappop(self._heap)
+            msg.delivered_cycle = cycle
+            msg.position = msg.dst
+            delivered.append(msg)
+            self.in_flight -= 1
+        return delivered
+
+
+def build_noc(config: ChipConfig, stats: SimStats, routing: RoutingPolicy | None = None) -> BaseNoC:
+    """Construct the NoC model selected by ``config.fidelity``."""
+    routing = routing or make_routing(config)
+    if config.fidelity == "cycle":
+        return CycleAccurateNoC(config, routing, stats)
+    return LatencyNoC(config, routing, stats)

@@ -1,0 +1,136 @@
+"""Turn-restricted dimension-ordered routing for the AM-CCA mesh.
+
+The paper uses deadlock-free, minimal, turn-restricted routing following the
+turn model of Glass & Ni, specifically **YX dimension-ordered routing** that
+"takes vertical paths first before turning horizontal".  XY routing (the
+mirror policy) is provided as well so benchmarks can ablate the choice.
+
+Both policies are *minimal*: every route has exactly Manhattan-distance hops.
+Both are deadlock free because once the first dimension is exhausted the
+route never turns back into it, which removes the cyclic channel dependencies
+required for deadlock in a mesh.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.arch.config import ChipConfig
+
+#: Mesh directions as (dx, dy) deltas.
+NORTH = (0, -1)
+SOUTH = (0, 1)
+EAST = (1, 0)
+WEST = (-1, 0)
+
+
+class RoutingPolicy:
+    """Base class for mesh routing policies.
+
+    A routing policy answers a single question: given the current compute
+    cell and the destination, which neighbouring cell does the message move
+    to next?  Policies must be minimal and deterministic so the simulator can
+    precompute route lengths.
+    """
+
+    name = "abstract"
+
+    def __init__(self, config: ChipConfig) -> None:
+        self.config = config
+
+    def next_hop(self, current: int, dst: int) -> int:
+        """Return the next compute cell on the route from ``current`` to ``dst``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def route(self, src: int, dst: int) -> List[int]:
+        """Full route as a list of compute cells, excluding ``src``.
+
+        The last element is always ``dst``.  For ``src == dst`` the route is
+        empty.
+        """
+        hops: List[int] = []
+        cur = src
+        guard = self.config.num_cells * 4 + 4
+        while cur != dst:
+            cur = self.next_hop(cur, dst)
+            hops.append(cur)
+            if len(hops) > guard:  # pragma: no cover - defensive
+                raise RuntimeError(f"routing loop detected {src}->{dst}")
+        return hops
+
+    def route_length(self, src: int, dst: int) -> int:
+        """Number of hops on the route (equals Manhattan distance)."""
+        return self.config.manhattan(src, dst)
+
+
+class YXRouting(RoutingPolicy):
+    """Dimension-ordered routing: move in Y (vertical) first, then X.
+
+    This is the policy used in the paper.  The only allowed turn is
+    vertical -> horizontal, so no cycle of channel dependencies can form.
+    """
+
+    name = "yx"
+
+    def next_hop(self, current: int, dst: int) -> int:
+        cfg = self.config
+        cx, cy = cfg.coords_of(current)
+        dx, dy = cfg.coords_of(dst)
+        if cy != dy:
+            step = 1 if dy > cy else -1
+            return cfg.cc_at(cx, cy + step)
+        if cx != dx:
+            step = 1 if dx > cx else -1
+            return cfg.cc_at(cx + step, cy)
+        return current
+
+
+class XYRouting(RoutingPolicy):
+    """Dimension-ordered routing: move in X (horizontal) first, then Y."""
+
+    name = "xy"
+
+    def next_hop(self, current: int, dst: int) -> int:
+        cfg = self.config
+        cx, cy = cfg.coords_of(current)
+        dx, dy = cfg.coords_of(dst)
+        if cx != dx:
+            step = 1 if dx > cx else -1
+            return cfg.cc_at(cx + step, cy)
+        if cy != dy:
+            step = 1 if dy > cy else -1
+            return cfg.cc_at(cx, cy + step)
+        return current
+
+
+_POLICIES = {"yx": YXRouting, "xy": XYRouting}
+
+
+def make_routing(config: ChipConfig) -> RoutingPolicy:
+    """Instantiate the routing policy named by ``config.routing``."""
+    try:
+        cls = _POLICIES[config.routing]
+    except KeyError:  # pragma: no cover - config validates earlier
+        raise ValueError(f"unknown routing policy {config.routing!r}") from None
+    return cls(config)
+
+
+def turns_of(config: ChipConfig, route_cells: List[int], src: int) -> List[Tuple[Tuple[int, int], Tuple[int, int]]]:
+    """Return the list of (incoming-direction, outgoing-direction) turns on a route.
+
+    Used by tests to assert the turn restriction: YX routes never turn from a
+    horizontal movement back into a vertical one, and vice versa for XY.
+    """
+    turns = []
+    prev = src
+    prev_dir: Tuple[int, int] | None = None
+    for cell in route_cells:
+        px, py = config.coords_of(prev)
+        cx, cy = config.coords_of(cell)
+        cur_dir = (cx - px, cy - py)
+        if prev_dir is not None and cur_dir != prev_dir:
+            turns.append((prev_dir, cur_dir))
+        prev_dir = cur_dir
+        prev = cell
+    return turns

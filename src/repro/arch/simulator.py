@@ -1,0 +1,246 @@
+"""The cycle-driven AM-CCA chip simulator.
+
+The simulator owns the compute cells, the NoC and the IO system and advances
+them in lock step.  One simulation cycle performs, in order:
+
+1. every IO cell injects at most one freshly created action message,
+2. the NoC advances every in-flight message by at most one hop,
+3. arrived messages are dispatched into tasks on their destination cells,
+4. every compute cell with work performs its single operation for the cycle
+   (one instruction, or the staging of one outgoing message into the NoC),
+5. per-cycle statistics are recorded and quiescence is checked.
+
+The *dispatcher* converts an arrived :class:`~repro.arch.message.Message`
+into a :class:`~repro.arch.cell.Task`; it is installed by the diffusive
+runtime (:mod:`repro.runtime`), keeping this package free of any knowledge
+about actions, vertices or graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.arch.cell import ComputeCell, Task
+from repro.arch.config import ChipConfig
+from repro.arch.energy import EnergyModel, EnergyReport, estimate_energy
+from repro.arch.io_system import IOSystem
+from repro.arch.message import Message
+from repro.arch.noc import BaseNoC, build_noc
+from repro.arch.routing import RoutingPolicy, make_routing
+from repro.arch.stats import SimStats
+from repro.arch.trace import TraceRecorder
+
+#: Converts an arrived message into a task for its destination cell.
+Dispatcher = Callable[[ComputeCell, Message], Task]
+
+
+class Simulator:
+    """Cycle-accurate simulator of one AM-CCA chip.
+
+    Parameters
+    ----------
+    config:
+        The chip description (dimensions, routing, fidelity, clock, IO sides).
+    dispatcher:
+        Callback converting a delivered message into a runnable task.  The
+        diffusive runtime installs this; tests may install simple stubs.
+    trace_every:
+        If > 0, capture an activity frame every that many cycles.
+    """
+
+    def __init__(
+        self,
+        config: ChipConfig,
+        dispatcher: Optional[Dispatcher] = None,
+        trace_every: int = 0,
+    ) -> None:
+        self.config = config
+        self.routing: RoutingPolicy = make_routing(config)
+        self.stats = SimStats(num_cells=config.num_cells)
+        self.noc: BaseNoC = build_noc(config, self.stats, self.routing)
+        self.io = IOSystem(config)
+        self.cells: List[ComputeCell] = [
+            ComputeCell(cc_id, *config.coords_of(cc_id))
+            for cc_id in range(config.num_cells)
+        ]
+        self.dispatcher = dispatcher
+        self.trace = TraceRecorder(config, sample_every=trace_every)
+        self.cycle = 0
+        #: cells that may have work; maintained incrementally for speed.
+        self._active_cells: Set[int] = set()
+        #: hooks run at the end of every cycle (used by terminators/monitors).
+        self._cycle_hooks: List[Callable[[int], None]] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def set_dispatcher(self, dispatcher: Dispatcher) -> None:
+        """Install the message-to-task dispatcher (done by the runtime)."""
+        self.dispatcher = dispatcher
+
+    def add_cycle_hook(self, hook: Callable[[int], None]) -> None:
+        """Register a callback invoked with the cycle number after each cycle."""
+        self._cycle_hooks.append(hook)
+
+    def cell(self, cc_id: int) -> ComputeCell:
+        """The compute cell with the given id."""
+        return self.cells[cc_id]
+
+    def wake(self, cc_id: int) -> None:
+        """Mark a cell as potentially having work (task enqueued externally)."""
+        self._active_cells.add(cc_id)
+
+    # ------------------------------------------------------------------
+    # Injection helpers (used by the runtime for host-driven setup)
+    # ------------------------------------------------------------------
+    def inject_message(self, msg: Message) -> None:
+        """Inject a message into the NoC as if staged at ``msg.src`` this cycle."""
+        self.noc.inject(msg, self.cycle)
+
+    def enqueue_task(self, cc_id: int, task: Task) -> None:
+        """Directly enqueue a task on a cell (host-side setup, tests)."""
+        self.cells[cc_id].enqueue_task(task)
+        self._active_cells.add(cc_id)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    @property
+    def is_quiescent(self) -> bool:
+        """True when no work remains anywhere on the chip."""
+        if not self.io.drained:
+            return False
+        if not self.noc.is_empty:
+            return False
+        for cc_id in self._active_cells:
+            if self.cells[cc_id].has_work:
+                return False
+        return True
+
+    def step(self) -> bool:
+        """Advance the chip by one cycle.  Returns True if any work happened."""
+        if self.dispatcher is None:
+            raise RuntimeError("no dispatcher installed; the runtime must call set_dispatcher")
+        cycle = self.cycle
+        did_work = False
+
+        # 1. IO cells read one item each and create action messages.
+        io_msgs = self.io.step(cycle)
+        if io_msgs:
+            did_work = True
+            self.stats.io_injections += len(io_msgs)
+            for msg in io_msgs:
+                self.noc.inject(msg, cycle)
+
+        # 2. NoC advances in-flight messages by one hop.
+        delivered = self.noc.advance(cycle)
+        if delivered:
+            did_work = True
+
+        # 3. Dispatch arrivals into tasks on their destination cells.
+        dispatcher = self.dispatcher
+        for msg in delivered:
+            cell = self.cells[msg.dst]
+            cell.enqueue_task(dispatcher(cell, msg))
+            self._active_cells.add(msg.dst)
+
+        # 4. Every cell with work performs one operation.
+        active_this_cycle: List[int] = []
+        still_active: Set[int] = set()
+        for cc_id in self._active_cells:
+            cell = self.cells[cc_id]
+            op = cell.step()
+            if op is not None:
+                active_this_cycle.append(cc_id)
+                did_work = True
+                if op == "stage":
+                    staged = cell.pop_staged()
+                    staged.created_cycle = cycle
+                    self.noc.inject(staged, cycle)
+            if cell.has_work:
+                still_active.add(cc_id)
+        self._active_cells = still_active
+
+        # 5. Record statistics and traces; run hooks.
+        self.stats.record_cycle(
+            active_cells=len(active_this_cycle),
+            in_flight=self.noc.in_flight,
+            delivered=len(delivered),
+        )
+        if self.trace.enabled:
+            self.trace.maybe_record(cycle, active_this_cycle)
+        for hook in self._cycle_hooks:
+            hook(cycle)
+
+        self.cycle += 1
+        return did_work
+
+    def run(
+        self,
+        max_cycles: Optional[int] = None,
+        until: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Run until quiescence (default), a predicate, or a cycle budget.
+
+        Parameters
+        ----------
+        max_cycles:
+            Hard upper bound on the number of cycles to simulate.
+        until:
+            Optional predicate checked after every cycle; the run stops once
+            it returns True (used by terminator objects).
+
+        Returns the number of cycles simulated by this call.
+        """
+        start = self.cycle
+        budget = max_cycles if max_cycles is not None else float("inf")
+        while (self.cycle - start) < budget:
+            self.step()
+            if until is not None:
+                if until():
+                    break
+            elif self.is_quiescent:
+                break
+        return self.cycle - start
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def collect_cell_counters(self) -> None:
+        """Fold per-cell lifetime counters into the aggregate statistics.
+
+        The aggregates are recomputed from scratch so this is idempotent and
+        can be called at any point in a run (e.g. between increments).
+        """
+        self.stats.instructions = 0
+        self.stats.messages_staged = 0
+        self.stats.tasks_executed = 0
+        self.stats.allocations = 0
+        self.stats.memory_words_allocated = 0
+        for cell in self.cells:
+            self.stats.merge_cell_counters(
+                instructions=cell.instructions_executed,
+                staged=cell.messages_staged,
+                tasks=cell.tasks_executed,
+                allocations=cell.allocations,
+                memory_words=cell.memory_words,
+            )
+
+    def finalize(self) -> SimStats:
+        """Refresh aggregate accounting and return the statistics object."""
+        self.collect_cell_counters()
+        return self.stats
+
+    def energy_report(self, model: Optional[EnergyModel] = None) -> EnergyReport:
+        """Energy/time estimate for everything simulated so far."""
+        self.finalize()
+        return estimate_energy(self.stats, self.config, model)
+
+    def memory_occupancy(self) -> Dict[int, int]:
+        """Words of memory allocated per compute cell (for load-balance checks)."""
+        return {cell.cc_id: cell.memory_words for cell in self.cells}
+
+    def all_objects(self) -> Iterable[object]:
+        """Iterate over every object resident in any cell's memory."""
+        for cell in self.cells:
+            yield from cell.objects()

@@ -1,0 +1,72 @@
+"""Trace recording for visualisation and debugging.
+
+The paper produces animations of the chip from simulation traces showing how
+streaming dynamic BFS transfers parallel control over the cellular grid.
+:class:`TraceRecorder` captures, at a configurable sampling interval, a 2-D
+snapshot of per-cell activity which can be rendered as ASCII frames or
+dumped to ``.npz`` for external plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arch.config import ChipConfig
+
+
+@dataclass
+class TraceRecorder:
+    """Samples a per-cell activity grid every ``sample_every`` cycles."""
+
+    config: ChipConfig
+    sample_every: int = 0  # 0 disables tracing
+    frames: List[np.ndarray] = field(default_factory=list)
+    frame_cycles: List[int] = field(default_factory=list)
+
+    @property
+    def enabled(self) -> bool:
+        return self.sample_every > 0
+
+    def maybe_record(self, cycle: int, active_cell_ids) -> None:
+        """Record a frame if the cycle falls on the sampling grid."""
+        if not self.enabled or cycle % self.sample_every != 0:
+            return
+        grid = np.zeros((self.config.height, self.config.width), dtype=np.uint8)
+        for cc in active_cell_ids:
+            x, y = self.config.coords_of(cc)
+            grid[y, x] = 1
+        self.frames.append(grid)
+        self.frame_cycles.append(cycle)
+
+    # ------------------------------------------------------------------
+    def ascii_frame(self, index: int, on: str = "#", off: str = ".") -> str:
+        """Render one captured frame as an ASCII grid."""
+        grid = self.frames[index]
+        return "\n".join("".join(on if v else off for v in row) for row in grid)
+
+    def ascii_animation(self, max_frames: int = 20) -> str:
+        """A compact multi-frame ASCII rendering (for examples and docs)."""
+        if not self.frames:
+            return "(no frames recorded)"
+        step = max(1, len(self.frames) // max_frames)
+        chunks = []
+        for i in range(0, len(self.frames), step):
+            chunks.append(f"cycle {self.frame_cycles[i]}:\n{self.ascii_frame(i)}")
+        return "\n\n".join(chunks)
+
+    def save_npz(self, path: str) -> None:
+        """Save all frames to a compressed ``.npz`` file."""
+        np.savez_compressed(
+            path,
+            frames=np.stack(self.frames) if self.frames else np.zeros((0, 0, 0)),
+            cycles=np.asarray(self.frame_cycles, dtype=np.int64),
+        )
+
+    @staticmethod
+    def load_npz(path: str) -> "tuple[np.ndarray, np.ndarray]":
+        """Load frames saved by :meth:`save_npz`."""
+        data = np.load(path)
+        return data["frames"], data["cycles"]

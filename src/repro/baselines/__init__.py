@@ -1,0 +1,25 @@
+"""Baselines and correctness oracles.
+
+* :mod:`repro.baselines.networkx_ref` -- NetworkX-based ground truth for
+  every algorithm and for per-increment prefixes of a streaming dataset (the
+  paper verifies its results against NetworkX).
+* :mod:`repro.baselines.static_recompute` -- the recompute-from-scratch
+  strawman: after every increment, rebuild the graph and rerun BFS from the
+  root instead of updating incrementally.
+* :mod:`repro.baselines.bsp` -- a bulk-synchronous (Pregel-style) vertex
+  -centric engine with a simple cost model, the coarse-grain execution style
+  the paper's introduction contrasts against.
+"""
+
+from repro.baselines.bsp import BSPEngine, BSPCostModel, bsp_incremental_bfs
+from repro.baselines.networkx_ref import IncrementalOracle, build_networkx
+from repro.baselines.static_recompute import static_recompute_bfs
+
+__all__ = [
+    "BSPEngine",
+    "BSPCostModel",
+    "bsp_incremental_bfs",
+    "IncrementalOracle",
+    "build_networkx",
+    "static_recompute_bfs",
+]

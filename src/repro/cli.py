@@ -1,0 +1,170 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Examples
+--------
+Reproduce Table 1 (dataset increments) at a laptop-friendly scale::
+
+    repro table1 --scale tiny
+
+Reproduce Table 2 (energy/time)::
+
+    repro table2 --scale tiny --chip 16
+
+Reproduce Figure 8/9 (cycles per increment) for snowball sampling::
+
+    repro increments --vertices 800 --edges 8000 --sampling snowball
+
+Reproduce Figure 6/7 (cell activation) and print an ASCII plot::
+
+    repro activation --vertices 800 --edges 8000 --with-bfs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import run_ingestion_bfs_pair, run_streaming_experiment
+from repro.analysis.figures import activation_figure, increment_figure, render_ascii_plot
+from repro.analysis.tables import render_table, table1_rows, table2_rows
+from repro.arch.config import ChipConfig
+from repro.datasets.streaming import (
+    SCALE_PRESETS,
+    make_streaming_dataset,
+    paper_dataset_configs,
+)
+
+
+def _chip_from_args(args: argparse.Namespace) -> ChipConfig:
+    side = getattr(args, "chip", 32) or 32
+    return ChipConfig(width=side, height=side, fidelity=getattr(args, "fidelity", "cycle"))
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--vertices", type=int, default=600, help="number of vertices")
+    parser.add_argument("--edges", type=int, default=6000, help="number of streamed edges")
+    parser.add_argument("--sampling", choices=("edge", "snowball"), default="edge")
+    parser.add_argument("--increments", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _add_chip_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--chip", type=int, default=32, help="chip side length (NxN cells)")
+    parser.add_argument("--fidelity", choices=("cycle", "latency"), default="cycle")
+    parser.add_argument("--allocator", choices=("vicinity", "random"), default="vicinity")
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    datasets = paper_dataset_configs(scale=args.scale, seed=args.seed)
+    print(f"Table 1 reproduction (scale={args.scale}):")
+    print(render_table(table1_rows(datasets)))
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    chip = _chip_from_args(args)
+    datasets = paper_dataset_configs(scale=args.scale, seed=args.seed)
+    pairs = {}
+    for dataset in datasets:
+        pairs[dataset.name] = run_ingestion_bfs_pair(dataset, chip=chip,
+                                                     ghost_allocator=args.allocator)
+    print(f"Table 2 reproduction (scale={args.scale}, chip={chip.width}x{chip.height}):")
+    print(render_table(table2_rows(pairs)))
+    return 0
+
+
+def cmd_increments(args: argparse.Namespace) -> int:
+    chip = _chip_from_args(args)
+    dataset = make_streaming_dataset(
+        args.vertices, args.edges, sampling=args.sampling,
+        num_increments=args.increments, seed=args.seed,
+    )
+    pair = run_ingestion_bfs_pair(dataset, chip=chip, ghost_allocator=args.allocator)
+    fig = increment_figure(pair, title=f"Figure 8/9 analogue: {dataset.name}")
+    print(render_ascii_plot(fig))
+    print()
+    rows = [
+        {
+            "Increment": i + 1,
+            "Streaming Edges": pair["ingestion"].increment_cycles[i],
+            "Streaming Edges with BFS": pair["ingestion_bfs"].increment_cycles[i],
+        }
+        for i in range(len(dataset.increments))
+    ]
+    print(render_table(rows))
+    return 0
+
+
+def cmd_activation(args: argparse.Namespace) -> int:
+    chip = _chip_from_args(args)
+    dataset = make_streaming_dataset(
+        args.vertices, args.edges, sampling=args.sampling,
+        num_increments=args.increments, seed=args.seed,
+    )
+    result = run_streaming_experiment(
+        dataset, chip=chip, with_bfs=args.with_bfs, ghost_allocator=args.allocator
+    )
+    fig = activation_figure(result, title="Figure 6/7 analogue")
+    print(render_ascii_plot(fig))
+    print()
+    print(f"total cycles: {result.total_cycles}")
+    print(f"mean activation: {result.summary['mean_activation'] * 100:.1f}%")
+    print(f"peak activation: {result.summary['peak_activation'] * 100:.1f}%")
+    return 0
+
+
+def cmd_quickstart(args: argparse.Namespace) -> int:
+    chip = ChipConfig.small()
+    dataset = make_streaming_dataset(200, 1600, sampling="edge", seed=1)
+    result = run_streaming_experiment(dataset, chip=chip, with_bfs=True)
+    print(f"streamed {dataset.total_edges} edges over {dataset.num_increments} increments")
+    print(f"total cycles: {result.total_cycles}")
+    print(f"BFS reached {result.bfs_reached} of {dataset.num_vertices} vertices")
+    print(f"energy: {result.energy.total_uj:.2f} uJ, time: {result.energy.time_us:.2f} us")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Streaming dynamic graph processing on a message-driven simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_t1 = sub.add_parser("table1", help="reproduce Table 1 (dataset increments)")
+    p_t1.add_argument("--scale", choices=sorted(SCALE_PRESETS), default="tiny")
+    p_t1.add_argument("--seed", type=int, default=7)
+    p_t1.set_defaults(func=cmd_table1)
+
+    p_t2 = sub.add_parser("table2", help="reproduce Table 2 (energy and time)")
+    p_t2.add_argument("--scale", choices=sorted(SCALE_PRESETS), default="tiny")
+    p_t2.add_argument("--seed", type=int, default=7)
+    _add_chip_args(p_t2)
+    p_t2.set_defaults(func=cmd_table2)
+
+    p_inc = sub.add_parser("increments", help="reproduce Figure 8/9 (cycles per increment)")
+    _add_dataset_args(p_inc)
+    _add_chip_args(p_inc)
+    p_inc.set_defaults(func=cmd_increments)
+
+    p_act = sub.add_parser("activation", help="reproduce Figure 6/7 (cell activation)")
+    _add_dataset_args(p_act)
+    _add_chip_args(p_act)
+    p_act.add_argument("--with-bfs", action="store_true", help="enable BFS propagation")
+    p_act.set_defaults(func=cmd_activation)
+
+    p_quick = sub.add_parser("quickstart", help="run a tiny end-to-end demo")
+    p_quick.set_defaults(func=cmd_quickstart)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

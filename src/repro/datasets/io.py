@@ -1,0 +1,74 @@
+"""Plain-text edge-list IO (the format the GraphChallenge files use).
+
+Files are tab-separated ``src  dst  [weight]`` lines; lines starting with
+``#`` are comments.  Streaming datasets can be saved one file per increment
+with :func:`write_streaming_dataset` and reloaded with
+:func:`read_streaming_dataset`.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Sequence
+
+from repro.datasets.streaming import StreamingDataset
+from repro.graph.rpvo import Edge
+
+
+def write_edge_list(path: str | os.PathLike, edges: Sequence[Edge]) -> None:
+    """Write edges as TSV ``src<TAB>dst<TAB>weight`` lines."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("# src\tdst\tweight\n")
+        for edge in edges:
+            fh.write(f"{edge.src}\t{edge.dst}\t{edge.weight}\n")
+
+
+def read_edge_list(path: str | os.PathLike) -> List[Edge]:
+    """Read a TSV edge list written by :func:`write_edge_list` (or compatible)."""
+    edges: List[Edge] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            weight = int(parts[2]) if len(parts) >= 3 else 1
+            edges.append(Edge(int(parts[0]), int(parts[1]), weight))
+    return edges
+
+
+def write_streaming_dataset(directory: str | os.PathLike, dataset: StreamingDataset) -> None:
+    """Save a streaming dataset as one edge-list file per increment."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    meta = directory / "dataset.meta"
+    with open(meta, "w", encoding="utf-8") as fh:
+        fh.write(f"name\t{dataset.name}\n")
+        fh.write(f"num_vertices\t{dataset.num_vertices}\n")
+        fh.write(f"sampling\t{dataset.sampling}\n")
+        fh.write(f"num_increments\t{dataset.num_increments}\n")
+    for i, chunk in enumerate(dataset.increments, start=1):
+        write_edge_list(directory / f"increment_{i:02d}.tsv", chunk)
+
+
+def read_streaming_dataset(directory: str | os.PathLike) -> StreamingDataset:
+    """Load a streaming dataset saved by :func:`write_streaming_dataset`."""
+    directory = Path(directory)
+    meta: dict = {}
+    with open(directory / "dataset.meta", "r", encoding="utf-8") as fh:
+        for line in fh:
+            key, value = line.rstrip("\n").split("\t", 1)
+            meta[key] = value
+    count = int(meta["num_increments"])
+    increments = [
+        read_edge_list(directory / f"increment_{i:02d}.tsv") for i in range(1, count + 1)
+    ]
+    return StreamingDataset(
+        name=meta["name"],
+        num_vertices=int(meta["num_vertices"]),
+        sampling=meta["sampling"],
+        increments=increments,
+    )

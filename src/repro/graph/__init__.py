@@ -1,0 +1,41 @@
+"""Dynamic graph structures for the message-driven model.
+
+This package implements the paper's primary data-structure contribution:
+
+* the **Recursively Parallel Vertex Object (RPVO)** -- a logical vertex
+  parallelized across compute cells as a root block plus a chain/tree of
+  ghost blocks, each holding a bounded local edge list
+  (:mod:`repro.graph.rpvo`),
+* **allocation policies** -- where roots are placed and where ghost blocks
+  are allocated (vicinity vs random, :mod:`repro.graph.allocator`),
+* the **streaming edge-ingestion action** (``insert-edge-action``) with its
+  future/continuation machinery (:mod:`repro.graph.ingest`), and
+* the host-facing :class:`~repro.graph.graph.DynamicGraph` facade that ties
+  vertices, ingestion and a streaming algorithm together
+  (:mod:`repro.graph.graph`).
+"""
+
+from repro.graph.allocator import (
+    GhostAllocator,
+    RandomAllocator,
+    VertexPlacement,
+    VicinityAllocator,
+    make_ghost_allocator,
+)
+from repro.graph.graph import DynamicGraph
+from repro.graph.ingest import INSERT_EDGE_ACTION
+from repro.graph.rpvo import Edge, EdgeSlot, VertexBlock, INFINITY
+
+__all__ = [
+    "GhostAllocator",
+    "RandomAllocator",
+    "VertexPlacement",
+    "VicinityAllocator",
+    "make_ghost_allocator",
+    "DynamicGraph",
+    "INSERT_EDGE_ACTION",
+    "Edge",
+    "EdgeSlot",
+    "VertexBlock",
+    "INFINITY",
+]

@@ -1,0 +1,153 @@
+"""Vertex placement and ghost-vertex allocation policies.
+
+Two distinct decisions are covered:
+
+* **Vertex placement** -- on which compute cell each logical vertex's *root*
+  block is allocated before streaming starts (host-side, Listing 1's
+  "allocate vertices on the device").
+* **Ghost allocation** -- on which compute cell an overflow *ghost* block is
+  allocated at runtime.  The paper contrasts the **Vicinity Allocator**
+  (ghosts within at most 2 hops of the originating cell, keeping intra-vertex
+  operations cheap, Figure 5a) with the **Random Allocator** (ghosts
+  scattered uniformly, Figure 5b).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.config import ChipConfig
+
+
+class VertexPlacement:
+    """Maps logical vertex ids onto compute cells for their root blocks."""
+
+    POLICIES = ("round_robin", "blocked", "random", "hashed")
+
+    def __init__(self, config: ChipConfig, policy: str = "round_robin",
+                 seed: Optional[int] = None) -> None:
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown placement policy {policy!r}")
+        self.config = config
+        self.policy = policy
+        self.rng = random.Random(seed)
+
+    def place(self, num_vertices: int) -> List[int]:
+        """Return the compute-cell id for each vertex ``0..num_vertices-1``."""
+        n_cells = self.config.num_cells
+        if self.policy == "round_robin":
+            return [vid % n_cells for vid in range(num_vertices)]
+        if self.policy == "blocked":
+            per_cell = max(1, -(-num_vertices // n_cells))
+            return [min(vid // per_cell, n_cells - 1) for vid in range(num_vertices)]
+        if self.policy == "random":
+            return [self.rng.randrange(n_cells) for _ in range(num_vertices)]
+        # "hashed": deterministic pseudo-random spreading independent of seed.
+        return [(vid * 2654435761) % n_cells for vid in range(num_vertices)]
+
+
+class GhostAllocator:
+    """Base class: chooses the compute cell hosting a new ghost block."""
+
+    name = "abstract"
+
+    def __init__(self, config: ChipConfig, seed: Optional[int] = None) -> None:
+        self.config = config
+        self.rng = random.Random(seed)
+        #: how many ghosts each policy has placed per cell (for load reports)
+        self.placed: Dict[int, int] = {}
+
+    def choose(self, origin_cc: int) -> int:
+        """Return the compute cell on which to allocate a ghost block."""
+        raise NotImplementedError
+
+    def _record(self, cc: int) -> int:
+        self.placed[cc] = self.placed.get(cc, 0) + 1
+        return cc
+
+    def mean_distance(self) -> float:
+        """Mean Manhattan distance between origins and chosen cells.
+
+        Only meaningful for allocators that record origins; provided on the
+        base class so reports can call it uniformly.
+        """
+        return 0.0
+
+
+class VicinityAllocator(GhostAllocator):
+    """Allocate ghosts on cells within ``max_hops`` of the originating cell.
+
+    The paper sets the vicinity to at most 2 hops so that intra-vertex
+    operations (root -> ghost forwarding) stay cheap.
+    """
+
+    name = "vicinity"
+
+    def __init__(self, config: ChipConfig, max_hops: int = 2,
+                 seed: Optional[int] = None) -> None:
+        super().__init__(config, seed)
+        if max_hops < 1:
+            raise ValueError("max_hops must be >= 1")
+        self.max_hops = max_hops
+        self._distances: List[int] = []
+        # Candidate lists are small (<= 13 cells for 2 hops); cache per origin.
+        self._candidates: Dict[int, Sequence[int]] = {}
+
+    def _candidates_for(self, origin_cc: int) -> Sequence[int]:
+        cached = self._candidates.get(origin_cc)
+        if cached is None:
+            cells = [c for c in self.config.cells_within(origin_cc, self.max_hops)
+                     if c != origin_cc]
+            cached = cells or [origin_cc]
+            self._candidates[origin_cc] = cached
+        return cached
+
+    def choose(self, origin_cc: int) -> int:
+        candidates = self._candidates_for(origin_cc)
+        chosen = self.rng.choice(list(candidates))
+        self._distances.append(self.config.manhattan(origin_cc, chosen))
+        return self._record(chosen)
+
+    def mean_distance(self) -> float:
+        if not self._distances:
+            return 0.0
+        return sum(self._distances) / len(self._distances)
+
+
+class RandomAllocator(GhostAllocator):
+    """Allocate ghosts uniformly at random over the whole chip (Figure 5b)."""
+
+    name = "random"
+
+    def __init__(self, config: ChipConfig, seed: Optional[int] = None) -> None:
+        super().__init__(config, seed)
+        self._distances: List[int] = []
+
+    def choose(self, origin_cc: int) -> int:
+        chosen = self.rng.randrange(self.config.num_cells)
+        self._distances.append(self.config.manhattan(origin_cc, chosen))
+        return self._record(chosen)
+
+    def mean_distance(self) -> float:
+        if not self._distances:
+            return 0.0
+        return sum(self._distances) / len(self._distances)
+
+
+_GHOST_ALLOCATORS = {
+    "vicinity": VicinityAllocator,
+    "random": RandomAllocator,
+}
+
+
+def make_ghost_allocator(name: str, config: ChipConfig,
+                         seed: Optional[int] = None, **kwargs) -> GhostAllocator:
+    """Instantiate a ghost allocator by name (``"vicinity"`` or ``"random"``)."""
+    try:
+        cls = _GHOST_ALLOCATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown ghost allocator {name!r}; choose from {sorted(_GHOST_ALLOCATORS)}"
+        ) from None
+    return cls(config, seed=seed, **kwargs)

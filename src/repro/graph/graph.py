@@ -1,0 +1,223 @@
+"""Host-facing facade tying vertices, streaming ingestion and an algorithm.
+
+:class:`DynamicGraph` owns
+
+* the root :class:`~repro.graph.rpvo.VertexBlock` of every logical vertex
+  (allocated across the chip by a placement policy),
+* the ghost allocator used for overflow blocks,
+* the :class:`~repro.graph.ingest.EdgeIngestor` implementing
+  ``insert-edge-action``,
+* at most one attached streaming algorithm (BFS in the paper; see
+  :mod:`repro.algorithms` for the full set), and
+* host-side read-back used for verification against NetworkX.
+
+A typical streaming experiment is a sequence of
+:meth:`DynamicGraph.stream_increment` calls -- one per dynamic-graph
+increment -- each of which queues the increment's edges on the IO channels,
+runs the chip until the diffusion terminates, and returns that increment's
+cycle count and statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.arch.address import Address
+from repro.arch.config import ChipConfig
+from repro.graph.allocator import GhostAllocator, VertexPlacement, make_ghost_allocator
+from repro.graph.ingest import INSERT_EDGE_ACTION, EdgeIngestor
+from repro.graph.rpvo import Edge, EdgeSlot, VertexBlock
+from repro.runtime.device import AMCCADevice, RunResult
+from repro.runtime.terminator import Terminator
+
+
+class DynamicGraph:
+    """A streaming dynamic graph distributed over an AM-CCA chip."""
+
+    def __init__(
+        self,
+        device: AMCCADevice,
+        num_vertices: int,
+        *,
+        capacity: Optional[int] = None,
+        ghost_slots: Optional[int] = None,
+        placement: str = "round_robin",
+        ghost_allocator: GhostAllocator | str = "vicinity",
+        seed: Optional[int] = None,
+        ingest_only: bool = False,
+    ) -> None:
+        if num_vertices <= 0:
+            raise ValueError("num_vertices must be positive")
+        self.device = device
+        self.config: ChipConfig = device.config
+        self.num_vertices = num_vertices
+        self.capacity = capacity if capacity is not None else self.config.edge_list_capacity
+        self.ghost_slots = ghost_slots if ghost_slots is not None else self.config.ghost_slots
+        self.ingest_only = ingest_only
+        self.algorithm = None  # type: ignore[assignment]
+        self.ghost_blocks_allocated = 0
+
+        if isinstance(ghost_allocator, str):
+            ghost_allocator = make_ghost_allocator(ghost_allocator, self.config, seed=seed)
+        self.ghost_allocator = ghost_allocator
+
+        # --- allocate root blocks across the chip -----------------------
+        self.placement = VertexPlacement(self.config, placement, seed=seed)
+        cells = self.placement.place(num_vertices)
+        self.vertex_addrs: Dict[int, Address] = {}
+        self._root_blocks: Dict[int, VertexBlock] = {}
+        for vid in range(num_vertices):
+            block = VertexBlock(
+                vid=vid,
+                capacity=self.capacity,
+                ghost_slots=self.ghost_slots,
+                is_root=True,
+            )
+            addr = device.allocate_on(cells[vid], block, words=block.words())
+            self.vertex_addrs[vid] = addr
+            self._root_blocks[vid] = block
+
+        # --- register the ingestion action -------------------------------
+        self.ingestor = EdgeIngestor(self)
+        self.ingestor.register()
+
+        # streaming bookkeeping
+        self.increments_streamed = 0
+        self.edges_streamed = 0
+        self.increment_results: List[RunResult] = []
+
+    # ------------------------------------------------------------------
+    # Algorithm attachment
+    # ------------------------------------------------------------------
+    def attach(self, algorithm) -> None:
+        """Attach a streaming algorithm (registers its actions, inits state)."""
+        self.algorithm = algorithm
+        algorithm.register(self)
+        for block in self._root_blocks.values():
+            algorithm.init_state(block)
+
+    def detach(self) -> None:
+        """Detach the current algorithm (pure ingestion afterwards)."""
+        self.algorithm = None
+
+    # ------------------------------------------------------------------
+    # Addresses and blocks
+    # ------------------------------------------------------------------
+    def address_of(self, vid: int) -> Address:
+        """Global address of a vertex's root block."""
+        return self.vertex_addrs[vid]
+
+    def root_block(self, vid: int) -> VertexBlock:
+        """Host-side reference to a vertex's root block."""
+        return self._root_blocks[vid]
+
+    def blocks_of(self, vid: int) -> List[VertexBlock]:
+        """All blocks (root plus reachable ghosts) of a logical vertex."""
+        blocks: List[VertexBlock] = []
+        seen: Set[int] = set()
+        stack: List[VertexBlock] = [self._root_blocks[vid]]
+        while stack:
+            block = stack.pop()
+            if id(block) in seen:
+                continue
+            seen.add(id(block))
+            blocks.append(block)
+            for addr in block.resolved_ghosts():
+                stack.append(self.device.get_object(addr))
+        return blocks
+
+    def ghost_chain_depth(self, vid: int) -> int:
+        """Maximum ghost depth reached by a vertex (0 = root only)."""
+        return max(block.depth for block in self.blocks_of(vid))
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def _edge_to_transfer(self, edge: Edge) -> Tuple[Address, Tuple]:
+        """Map a streamed edge to its target address and operands."""
+        src_addr = self.vertex_addrs[edge.src]
+        dst_addr = self.vertex_addrs[edge.dst]
+        slot = EdgeSlot(dst_addr=dst_addr, dst_vid=edge.dst, weight=edge.weight)
+        return src_addr, (slot,)
+
+    def stream_increment(
+        self,
+        edges: Sequence[Edge] | Iterable[Edge],
+        *,
+        phase: Optional[str] = None,
+        terminator: Optional[Terminator] = None,
+        max_cycles: Optional[int] = None,
+    ) -> RunResult:
+        """Stream one dynamic-graph increment and run until it terminates.
+
+        Returns the :class:`~repro.runtime.device.RunResult` for this
+        increment only (its ``cycles`` field is the per-increment cycle count
+        plotted in the paper's Figures 8 and 9).
+        """
+        edges = list(edges)
+        phase = phase or f"increment-{self.increments_streamed + 1}"
+        terminator = terminator or Terminator(phase)
+        queued = self.device.register_data_transfer(
+            edges, INSERT_EDGE_ACTION, self._edge_to_transfer
+        )
+        result = self.device.run(terminator=terminator, max_cycles=max_cycles, phase=phase)
+        result.extra["edges"] = queued
+        result.extra["terminator"] = terminator
+        self.increments_streamed += 1
+        self.edges_streamed += queued
+        self.increment_results.append(result)
+        return result
+
+    def stream(self, increments: Sequence[Sequence[Edge]], **kwargs) -> List[RunResult]:
+        """Stream a list of increments back to back; returns one result each."""
+        return [self.stream_increment(inc, **kwargs) for inc in increments]
+
+    # ------------------------------------------------------------------
+    # Host-side read-back (verification)
+    # ------------------------------------------------------------------
+    def edges_of(self, vid: int) -> List[Tuple[int, int]]:
+        """All ``(dst_vid, weight)`` pairs stored anywhere in the vertex's RPVO."""
+        out: List[Tuple[int, int]] = []
+        for block in self.blocks_of(vid):
+            out.extend((slot.dst_vid, slot.weight) for slot in block.edges)
+        return out
+
+    def degree(self, vid: int) -> int:
+        """Out-degree of a vertex (edges stored across root and ghosts)."""
+        return len(self.edges_of(vid))
+
+    def total_edges_stored(self) -> int:
+        """Total number of edges stored on the chip (all vertices)."""
+        return sum(self.degree(vid) for vid in range(self.num_vertices))
+
+    def vertex_state(self, vid: int, key: str, default: Any = None) -> Any:
+        """Read one algorithm-state field from a vertex's root block."""
+        return self._root_blocks[vid].get_state(key, default)
+
+    def to_networkx(self, directed: bool = True) -> "nx.DiGraph | nx.Graph":
+        """Reconstruct the currently stored graph as a NetworkX graph."""
+        g: nx.DiGraph | nx.Graph = nx.DiGraph() if directed else nx.Graph()
+        g.add_nodes_from(range(self.num_vertices))
+        for vid in range(self.num_vertices):
+            for dst, weight in self.edges_of(vid):
+                g.add_edge(vid, dst, weight=weight)
+        return g
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def ghost_report(self) -> Dict[str, Any]:
+        """Summary of ghost allocation behaviour (used by the allocator ablation)."""
+        depths = [self.ghost_chain_depth(v) for v in range(self.num_vertices)]
+        return {
+            "ghost_blocks": self.ghost_blocks_allocated,
+            "max_depth": max(depths) if depths else 0,
+            "mean_ghost_distance": self.ghost_allocator.mean_distance(),
+            "allocator": self.ghost_allocator.name,
+        }
+
+    def per_increment_cycles(self) -> List[int]:
+        """Cycle counts of every streamed increment, in order."""
+        return [r.cycles for r in self.increment_results]

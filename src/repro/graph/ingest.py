@@ -1,0 +1,146 @@
+"""Streaming edge ingestion: the ``insert-edge-action``.
+
+This module implements the paper's Listing 6.  An insert action is sent to a
+vertex's root block; the handler:
+
+1. inserts the edge into the block's local edge list if there is room, then
+   hands control to the attached streaming algorithm (Listing 4's BFS
+   propagation along the new edge);
+2. otherwise, recurses into the ghost hierarchy:
+
+   * if the ghost future is *null*, the future is set to *pending*, this
+     insertion is enqueued on the future as a dependent closure, and a
+     continuation is launched that allocates a ghost block on a compute cell
+     chosen by the ghost allocator (Figure 3);
+   * if the ghost future is *pending*, the insertion is enqueued on it
+     (Figure 4, state 2);
+   * if the ghost future is fulfilled, the insertion is recursively
+     propagated to the ghost block's address.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.arch.address import Address
+from repro.runtime.actions import ActionContext, action_cost
+from repro.graph.rpvo import EdgeSlot, VertexBlock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graph.graph import DynamicGraph
+
+#: The registered name of the ingestion action (paper: ``insert-edge-action``).
+INSERT_EDGE_ACTION = "insert-edge-action"
+
+
+class EdgeIngestor:
+    """Binds the insert-edge action to one :class:`~repro.graph.graph.DynamicGraph`."""
+
+    def __init__(self, graph: "DynamicGraph") -> None:
+        self.graph = graph
+        # Counters exposed for tests / reports.
+        self.edges_inserted = 0
+        self.ghosts_allocated = 0
+        self.ghost_forwards = 0
+        self.future_enqueues = 0
+
+    # ------------------------------------------------------------------
+    def register(self) -> None:
+        """Register the ingestion action on the graph's device."""
+        self.graph.device.register_action(INSERT_EDGE_ACTION, self.handle, size_words=4)
+
+    # ------------------------------------------------------------------
+    # The action handler (paper Listing 6)
+    # ------------------------------------------------------------------
+    def handle(self, ctx: ActionContext, block: VertexBlock, slot: EdgeSlot) -> None:
+        """Insert ``slot`` into ``block`` or recurse into its ghost hierarchy."""
+        graph = self.graph
+        block.inserts_seen += 1
+        if block.is_root:
+            # The root sees every insertion of its logical vertex first and
+            # keeps a compact mirror of destination ids for analytics queries.
+            block.mirror.append(slot.dst_vid)
+
+        if block.has_room:
+            block.append_edge(slot)
+            ctx.charge(action_cost("insert"))
+            self.edges_inserted += 1
+            algorithm = graph.algorithm
+            if algorithm is not None and not graph.ingest_only:
+                algorithm.on_edge_inserted(ctx, block, slot)
+            return
+
+        # Edge list full: forward into the ghost hierarchy.
+        ctx.charge(action_cost("compare"))
+        slot_index = block.ghost_slot_for(slot.dst_vid)
+        future = block.ghosts[slot_index]
+
+        if future.is_fulfilled:
+            ghost_addr = future.get()
+            block.forwards += 1
+            self.ghost_forwards += 1
+            ctx.propagate(INSERT_EDGE_ACTION, ghost_addr, slot)
+            return
+
+        if future.is_null:
+            # First overflow for this slot: start the asynchronous allocation.
+            future.set_pending()
+            self._enqueue_pending_insert(ctx, block, future, slot)
+            self._allocate_ghost(ctx, block, slot_index)
+            return
+
+        # Future is pending: someone else already started the allocation.
+        self._enqueue_pending_insert(ctx, block, future, slot)
+
+    # ------------------------------------------------------------------
+    def _enqueue_pending_insert(self, ctx: ActionContext, block: VertexBlock,
+                                future, slot: EdgeSlot) -> None:
+        """Park this insertion on the pending ghost future (Figure 4, state 2)."""
+        self.future_enqueues += 1
+        ctx.charge(action_cost("state_update"))
+
+        def resume(resume_ctx: ActionContext) -> None:
+            # Runs after the future is fulfilled; recursively propagate the
+            # insertion to the freshly allocated ghost block.
+            resume_ctx.propagate(INSERT_EDGE_ACTION, future.get(), slot)
+
+        future.enqueue(resume)
+
+    def _allocate_ghost(self, ctx: ActionContext, block: VertexBlock, slot_index: int) -> None:
+        """Launch the continuation that allocates a ghost block remotely."""
+        graph = self.graph
+        destination_cc = graph.ghost_allocator.choose(ctx.cc_id)
+        vid = block.vid
+        depth = block.depth + 1
+        # Snapshot of the parent's algorithm state: the new ghost block starts
+        # from the vertex state known at allocation time and is kept up to
+        # date afterwards by the algorithm's ghost forwarding.
+        state_snapshot = dict(block.state)
+        capacity = graph.capacity
+        ghost_slots = graph.ghost_slots
+
+        def factory() -> VertexBlock:
+            return VertexBlock(
+                vid=vid,
+                capacity=capacity,
+                ghost_slots=ghost_slots,
+                is_root=False,
+                depth=depth,
+                state=state_snapshot,
+            )
+
+        future = block.ghosts[slot_index]
+        self.ghosts_allocated += 1
+        graph.ghost_blocks_allocated += 1
+
+        def then(cont_ctx: ActionContext, address: Address) -> None:
+            # Figure 3 step 3: the continuation returned with the ghost's
+            # address; fulfil the future and release its dependent tasks.
+            block.ghost_addrs[slot_index] = address
+            released = future.fulfil(address)
+            cont_ctx.charge(action_cost("state_update"))
+            for closure in released:
+                cont_ctx.schedule_local(closure, label="future-release")
+
+        words = VertexBlock(vid, capacity, ghost_slots, is_root=False).words()
+        ctx.call_cc_allocate(factory, words, destination_cc, then)

@@ -1,0 +1,38 @@
+"""The diffusive programming runtime.
+
+This package implements the paper's programming and execution model on top
+of the :mod:`repro.arch` substrate:
+
+* **actions** -- asynchronous active messages that carry work to data; an
+  action handler mutates the state of its target object and may
+  ``propagate`` further actions, creating the "ripple effect or diffusion"
+  (:mod:`repro.runtime.actions`),
+* **local control objects (LCOs)** -- the ``future`` LCO with its
+  null / pending / fulfilled life cycle and dependent-closure queue
+  (:mod:`repro.runtime.futures`),
+* **continuations** -- ``call/cc``-style asynchronous control transfer used
+  for remote memory allocation (:mod:`repro.runtime.continuations`),
+* **termination detection** -- the terminator object a host program waits on
+  (:mod:`repro.runtime.terminator`),
+* **the device facade** -- :class:`~repro.runtime.device.AMCCADevice`, the
+  accelerator-style host API of the paper's Listing 1
+  (:mod:`repro.runtime.device`).
+"""
+
+from repro.runtime.actions import ActionContext, ActionRegistry, action_cost
+from repro.runtime.continuations import ContinuationManager
+from repro.runtime.device import AMCCADevice, RunResult
+from repro.runtime.futures import Future, FutureState
+from repro.runtime.terminator import Terminator
+
+__all__ = [
+    "ActionContext",
+    "ActionRegistry",
+    "action_cost",
+    "ContinuationManager",
+    "AMCCADevice",
+    "RunResult",
+    "Future",
+    "FutureState",
+    "Terminator",
+]

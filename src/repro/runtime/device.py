@@ -1,0 +1,269 @@
+"""The AM-CCA device facade: the host-side API of the diffusive model.
+
+This mirrors the accelerator-style host program of the paper's Listing 1:
+
+.. code-block:: python
+
+    dev = AMCCADevice(ChipConfig.paper_chip())
+    vertices = {vid: dev.allocate_on(cc, block) for ...}      # allocate roots
+    dev.register_action("insert-edge-action", insert_edge)    # register actions
+    dev.register_data_transfer(edges, "insert-edge-action",   # wire IO channels
+                               target_fn=lambda e: (vertices[e.src], (e,)))
+    terminator = Terminator()
+    result = dev.run(terminator)                               # diffuse + wait
+
+The device owns the simulator, the action registry, the continuation manager
+and the terminator hooks; the graph layer and the algorithms only ever talk
+to this facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.arch.address import Address
+from repro.arch.cell import ComputeCell, Task
+from repro.arch.config import ChipConfig
+from repro.arch.energy import EnergyModel, EnergyReport
+from repro.arch.message import Message
+from repro.arch.simulator import Simulator
+from repro.arch.stats import SimStats
+from repro.runtime.actions import ActionContext, ActionHandler, ActionRegistry
+from repro.runtime.continuations import ContinuationManager
+from repro.runtime.terminator import Terminator
+
+#: Maps a streamed item to (target address, operand tuple) for its action.
+TargetFn = Callable[[Any], Tuple[Address, Tuple]]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`AMCCADevice.run` call (one diffusion)."""
+
+    cycles: int
+    start_cycle: int
+    end_cycle: int
+    stats: SimStats
+    phase: str = ""
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RunResult(phase={self.phase!r}, cycles={self.cycles})"
+
+
+class AMCCADevice:
+    """Host handle to one simulated AM-CCA chip."""
+
+    def __init__(
+        self,
+        config: Optional[ChipConfig] = None,
+        *,
+        trace_every: int = 0,
+        energy_model: Optional[EnergyModel] = None,
+    ) -> None:
+        self.config = config or ChipConfig.paper_chip()
+        self.registry = ActionRegistry()
+        self.simulator = Simulator(self.config, trace_every=trace_every)
+        self.simulator.set_dispatcher(self._dispatch)
+        self.energy_model = energy_model or EnergyModel()
+        self.continuations = ContinuationManager(self)
+        self.continuations.install_system_actions()
+        self._terminator: Optional[Terminator] = None
+        # Work injected by the host before run() installs a terminator; the
+        # count is handed to the terminator when the run starts so its books
+        # balance (every completion has a matching send).
+        self._pre_run_sends = 0
+        self._run_count = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_action(self, name: str, handler: ActionHandler, size_words: int = 2) -> None:
+        """Register an action handler under ``name`` (paper: AMCCA_REGISTER_ACTION)."""
+        self.registry.register(name, handler, size_words=size_words)
+
+    def register_data_transfer(
+        self,
+        items: Sequence[Any] | Iterable[Any],
+        action: str,
+        target_fn: TargetFn,
+    ) -> int:
+        """Queue ``items`` on the IO channels to be streamed as ``action`` messages.
+
+        ``target_fn`` maps each item to the global address the action should
+        be sent to and the operand tuple it should carry (the paper's IO cells
+        look the vertex address up from the host-provided vertex map).
+        Returns the number of items queued.
+        """
+        if action not in self.registry:
+            raise KeyError(f"action {action!r} must be registered before data transfer")
+        size_words = self.registry.size_words(action)
+
+        def factory(item: Any, attached_cc: int) -> Message:
+            target, operands = target_fn(item)
+            self.terminator_hook_sent()
+            return Message(
+                src=attached_cc,
+                dst=target.cc_id,
+                action=action,
+                target=target,
+                operands=operands,
+                size_words=size_words,
+            )
+
+        return self.simulator.io.register_transfer(items, factory)
+
+    # ------------------------------------------------------------------
+    # Host-side memory management
+    # ------------------------------------------------------------------
+    def allocate_on(self, cc_id: int, obj: Any, words: int = 1) -> Address:
+        """Allocate an object on a chosen compute cell (host-side setup)."""
+        return self.simulator.cell(cc_id).allocate(obj, words)
+
+    def get_object(self, address: Address) -> Any:
+        """Host-side read of any object on the chip (used for verification)."""
+        return self.simulator.cell(address.cc_id).get(address)
+
+    def memory_occupancy(self) -> Dict[int, int]:
+        """Words allocated per compute cell."""
+        return self.simulator.memory_occupancy()
+
+    # ------------------------------------------------------------------
+    # Host-initiated actions
+    # ------------------------------------------------------------------
+    def send(self, action: str, target: Address, *operands: Any) -> None:
+        """Send an action from the host into the chip (e.g. seeding a BFS root).
+
+        The message enters the mesh at the IO-channel border cell of the
+        target's row, as a host-driven injection would.
+        """
+        if action not in self.registry:
+            raise KeyError(f"action {action!r} is not registered")
+        entry = self._host_entry_cell(target.cc_id)
+        self.terminator_hook_sent()
+        msg = Message(
+            src=entry,
+            dst=target.cc_id,
+            action=action,
+            target=target,
+            operands=operands,
+            size_words=self.registry.size_words(action),
+        )
+        self.simulator.inject_message(msg)
+
+    def _host_entry_cell(self, dst_cc: int) -> int:
+        """The border cell through which a host message enters the mesh."""
+        x, y = self.config.coords_of(dst_cc)
+        sides = self.config.io_sides
+        if "west" in sides:
+            return self.config.cc_at(0, y)
+        if "east" in sides:
+            return self.config.cc_at(self.config.width - 1, y)
+        if "north" in sides:
+            return self.config.cc_at(x, 0)
+        return self.config.cc_at(x, self.config.height - 1)
+
+    # ------------------------------------------------------------------
+    # Terminator integration
+    # ------------------------------------------------------------------
+    def terminator_hook_sent(self) -> None:
+        if self._terminator is not None:
+            self._terminator.on_sent()
+        else:
+            self._pre_run_sends += 1
+
+    def terminator_hook_completed(self) -> None:
+        if self._terminator is not None:
+            self._terminator.on_completed()
+        elif self._pre_run_sends > 0:
+            self._pre_run_sends -= 1
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, cell: ComputeCell, msg: Message) -> Task:
+        """Convert an arrived message into a runnable task (simulator hook)."""
+        handler = self.registry.get(msg.action)
+
+        def run() -> Tuple[int, List[Message]]:
+            ctx = ActionContext(self, cell)
+            target_obj = None
+            if msg.target is not None and msg.target.obj_id >= 0:
+                target_obj = cell.get(msg.target)
+            handler(ctx, target_obj, *msg.operands)
+            self.terminator_hook_completed()
+            return ctx.finish()
+
+        return Task(run, label=msg.action)
+
+    def make_local_task(
+        self, cell: ComputeCell, fn: Callable[[ActionContext], None], label: str = "local"
+    ) -> Task:
+        """Wrap a closure as a task with its own context and cost accounting."""
+
+        def run() -> Tuple[int, List[Message]]:
+            ctx = ActionContext(self, cell)
+            fn(ctx)
+            self.terminator_hook_completed()
+            return ctx.finish()
+
+        return Task(run, label=label)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        terminator: Optional[Terminator] = None,
+        max_cycles: Optional[int] = None,
+        phase: str = "",
+    ) -> RunResult:
+        """Run the chip until the diffusion terminates (or a cycle budget).
+
+        The diffusion has terminated when the IO stream is drained, the
+        network is empty, no compute cell has work left and the terminator's
+        outstanding count is zero.
+        """
+        self._terminator = terminator
+        if terminator is not None and self._pre_run_sends:
+            terminator.on_sent(self._pre_run_sends)
+            self._pre_run_sends = 0
+        sim = self.simulator
+        start = sim.cycle
+        if phase:
+            sim.stats.mark_phase(phase)
+
+        def finished() -> bool:
+            if not sim.is_quiescent:
+                return False
+            return terminator is None or terminator.quiet
+
+        cycles = sim.run(max_cycles=max_cycles, until=finished)
+        if terminator is not None and finished():
+            terminator.mark_finished(sim.cycle)
+        self._terminator = None
+        self._run_count += 1
+        return RunResult(
+            cycles=cycles,
+            start_cycle=start,
+            end_cycle=sim.cycle,
+            stats=sim.stats,
+            phase=phase or f"run-{self._run_count}",
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> SimStats:
+        """Finalized statistics for everything simulated so far."""
+        return self.simulator.finalize()
+
+    def energy_report(self) -> EnergyReport:
+        """Energy/time estimate using this device's energy model."""
+        return self.simulator.energy_report(self.energy_model)
+
+    @property
+    def trace(self):
+        """The trace recorder (frames are only captured if trace_every > 0)."""
+        return self.simulator.trace

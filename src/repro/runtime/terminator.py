@@ -1,0 +1,84 @@
+"""Termination detection for diffusive computations.
+
+A diffusion has no global barrier: actions spawn actions until, eventually,
+nothing is left in flight.  The host needs to know when that happens.  The
+paper's host code creates a *terminator object* and waits on it
+(``dev.run(terminator)``).
+
+:class:`Terminator` implements a counting termination detector in the style
+of Dijkstra–Scholten credit counting, collapsed to a single global counter
+(which is exact in a simulator with a global view): every message or locally
+spawned task increments the outstanding count, every completed task
+decrements it.  The diffusion has terminated when the count is zero, the IO
+stream is drained and the network is empty.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class TerminationError(RuntimeError):
+    """Raised when the terminator observes an impossible (negative) count."""
+
+
+class Terminator:
+    """Tracks outstanding work of a diffusion and signals its completion."""
+
+    def __init__(self, name: str = "diffusion") -> None:
+        self.name = name
+        self.outstanding = 0
+        self.total_sent = 0
+        self.total_completed = 0
+        self._finished_cycles: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Hooks called by the runtime
+    # ------------------------------------------------------------------
+    def on_sent(self, count: int = 1) -> None:
+        """A message or local task was created (work became outstanding)."""
+        self.outstanding += count
+        self.total_sent += count
+
+    def on_completed(self, count: int = 1) -> None:
+        """A task finished processing (outstanding work retired)."""
+        self.outstanding -= count
+        self.total_completed += count
+        if self.outstanding < 0:
+            raise TerminationError(
+                f"terminator {self.name!r} went negative "
+                f"(completed {self.total_completed} > sent {self.total_sent})"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def quiet(self) -> bool:
+        """True when no spawned work remains outstanding."""
+        return self.outstanding == 0
+
+    def mark_finished(self, cycle: int) -> None:
+        """Record the cycle at which global termination was declared."""
+        if self._finished_cycles is None:
+            self._finished_cycles = cycle
+
+    @property
+    def finished_cycle(self) -> Optional[int]:
+        return self._finished_cycles
+
+    @property
+    def is_finished(self) -> bool:
+        return self._finished_cycles is not None
+
+    def reset(self) -> None:
+        """Re-arm the terminator for another diffusion (e.g. next increment)."""
+        if self.outstanding != 0:
+            raise TerminationError(
+                f"cannot reset terminator {self.name!r} with outstanding work"
+            )
+        self._finished_cycles = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Terminator({self.name!r}, outstanding={self.outstanding}, "
+            f"sent={self.total_sent}, completed={self.total_completed})"
+        )

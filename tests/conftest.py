@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.arch.config import ChipConfig
+from repro.algorithms.bfs import StreamingBFS
+from repro.datasets.streaming import StreamingDataset, make_streaming_dataset
+from repro.graph.graph import DynamicGraph
+from repro.graph.rpvo import Edge
+from repro.runtime.device import AMCCADevice
+
+
+@pytest.fixture
+def small_chip() -> ChipConfig:
+    """An 8x8 chip with a small edge-list capacity so ghosts appear quickly."""
+    return ChipConfig.small(edge_list_capacity=4)
+
+
+@pytest.fixture
+def tiny_chip() -> ChipConfig:
+    """A 4x4 chip for the very fine-grained unit tests."""
+    return ChipConfig(width=4, height=4, edge_list_capacity=3)
+
+
+@pytest.fixture
+def device(small_chip) -> AMCCADevice:
+    return AMCCADevice(small_chip)
+
+
+def random_edges(num_vertices: int, num_edges: int, seed: int = 0,
+                 weights: bool = False) -> List[Edge]:
+    """A reproducible random directed edge list without self loops."""
+    rng = random.Random(seed)
+    edges: List[Edge] = []
+    while len(edges) < num_edges:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u == v:
+            continue
+        w = rng.randint(1, 9) if weights else 1
+        edges.append(Edge(u, v, w))
+    return edges
+
+
+def build_bfs_graph(
+    chip: ChipConfig,
+    num_vertices: int,
+    *,
+    root: int = 0,
+    seed: int = 3,
+    ghost_allocator: str = "vicinity",
+    ingest_only: bool = False,
+) -> Tuple[AMCCADevice, DynamicGraph, StreamingBFS]:
+    """Device + graph + seeded BFS, ready for streaming."""
+    device = AMCCADevice(chip)
+    graph = DynamicGraph(
+        device,
+        num_vertices,
+        seed=seed,
+        ghost_allocator=ghost_allocator,
+        ingest_only=ingest_only,
+    )
+    bfs = StreamingBFS(root=root)
+    graph.attach(bfs)
+    bfs.seed(graph, root=root)
+    return device, graph, bfs
+
+
+@pytest.fixture
+def small_dataset() -> StreamingDataset:
+    """A 200-vertex edge-sampled dataset streamed over 5 increments."""
+    return make_streaming_dataset(200, 1500, sampling="edge", num_increments=5, seed=11)
+
+
+@pytest.fixture
+def snowball_dataset() -> StreamingDataset:
+    """A 200-vertex snowball-sampled dataset streamed over 5 increments."""
+    return make_streaming_dataset(200, 1500, sampling="snowball", num_increments=5, seed=11)

@@ -1,0 +1,116 @@
+"""Tests for vertex placement and ghost allocation policies."""
+
+import pytest
+
+from repro.arch.config import ChipConfig
+from repro.graph.allocator import (
+    RandomAllocator,
+    VertexPlacement,
+    VicinityAllocator,
+    make_ghost_allocator,
+)
+
+
+@pytest.fixture
+def config():
+    return ChipConfig(width=8, height=8)
+
+
+class TestVertexPlacement:
+    def test_unknown_policy_rejected(self, config):
+        with pytest.raises(ValueError):
+            VertexPlacement(config, "spiral")
+
+    def test_round_robin_spreads_evenly(self, config):
+        cells = VertexPlacement(config, "round_robin").place(128)
+        counts = {c: cells.count(c) for c in set(cells)}
+        assert set(counts.values()) == {2}
+
+    def test_blocked_is_contiguous(self, config):
+        cells = VertexPlacement(config, "blocked").place(128)
+        assert cells == sorted(cells)
+        assert all(0 <= c < config.num_cells for c in cells)
+
+    def test_random_is_seed_reproducible(self, config):
+        a = VertexPlacement(config, "random", seed=5).place(50)
+        b = VertexPlacement(config, "random", seed=5).place(50)
+        c = VertexPlacement(config, "random", seed=6).place(50)
+        assert a == b
+        assert a != c
+
+    def test_hashed_is_deterministic(self, config):
+        a = VertexPlacement(config, "hashed").place(50)
+        b = VertexPlacement(config, "hashed", seed=99).place(50)
+        assert a == b
+
+    def test_all_policies_stay_in_range(self, config):
+        for policy in VertexPlacement.POLICIES:
+            cells = VertexPlacement(config, policy, seed=1).place(200)
+            assert all(0 <= c < config.num_cells for c in cells)
+            assert len(cells) == 200
+
+
+class TestVicinityAllocator:
+    def test_choices_within_max_hops(self, config):
+        alloc = VicinityAllocator(config, max_hops=2, seed=1)
+        origin = config.cc_at(4, 4)
+        for _ in range(50):
+            chosen = alloc.choose(origin)
+            assert 1 <= config.manhattan(origin, chosen) <= 2
+
+    def test_corner_origin_still_works(self, config):
+        alloc = VicinityAllocator(config, max_hops=2, seed=1)
+        origin = config.cc_at(0, 0)
+        for _ in range(20):
+            assert config.manhattan(origin, alloc.choose(origin)) <= 2
+
+    def test_mean_distance_small(self, config):
+        alloc = VicinityAllocator(config, max_hops=2, seed=1)
+        for _ in range(100):
+            alloc.choose(config.cc_at(3, 3))
+        assert 0 < alloc.mean_distance() <= 2
+
+    def test_invalid_max_hops(self, config):
+        with pytest.raises(ValueError):
+            VicinityAllocator(config, max_hops=0)
+
+    def test_placed_counts_recorded(self, config):
+        alloc = VicinityAllocator(config, seed=1)
+        for _ in range(10):
+            alloc.choose(0)
+        assert sum(alloc.placed.values()) == 10
+
+
+class TestRandomAllocator:
+    def test_spreads_over_whole_chip(self, config):
+        alloc = RandomAllocator(config, seed=2)
+        chosen = {alloc.choose(0) for _ in range(300)}
+        assert len(chosen) > config.num_cells // 2
+
+    def test_mean_distance_larger_than_vicinity(self, config):
+        vicinity = VicinityAllocator(config, max_hops=2, seed=3)
+        rand = RandomAllocator(config, seed=3)
+        origin = config.cc_at(4, 4)
+        for _ in range(200):
+            vicinity.choose(origin)
+            rand.choose(origin)
+        assert rand.mean_distance() > vicinity.mean_distance()
+
+    def test_seed_reproducible(self, config):
+        a = [RandomAllocator(config, seed=9).choose(0) for _ in range(5)]
+        b = [RandomAllocator(config, seed=9).choose(0) for _ in range(5)]
+        assert a[0] == b[0]
+
+
+class TestFactory:
+    def test_make_by_name(self, config):
+        assert isinstance(make_ghost_allocator("vicinity", config), VicinityAllocator)
+        assert isinstance(make_ghost_allocator("random", config), RandomAllocator)
+
+    def test_unknown_name(self, config):
+        with pytest.raises(ValueError):
+            make_ghost_allocator("teleport", config)
+
+    def test_kwargs_forwarded(self, config):
+        alloc = make_ghost_allocator("vicinity", config, max_hops=3)
+        assert alloc.max_hops == 3

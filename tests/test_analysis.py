@@ -1,0 +1,131 @@
+"""Tests for the experiment driver, figure data and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_ingestion_bfs_pair, run_streaming_experiment
+from repro.analysis.figures import (
+    FigureData,
+    activation_figure,
+    downsample_series,
+    increment_figure,
+    render_ascii_plot,
+)
+from repro.analysis.tables import render_table, table1_rows, table2_rows
+from repro.arch.config import ChipConfig
+from repro.datasets.streaming import make_streaming_dataset, paper_dataset_configs
+
+
+@pytest.fixture(scope="module")
+def small_pair():
+    """One paired (ingestion / ingestion+BFS) experiment reused by several tests."""
+    chip = ChipConfig(width=8, height=8, edge_list_capacity=8)
+    dataset = make_streaming_dataset(150, 1200, sampling="edge", num_increments=5, seed=4)
+    return dataset, run_ingestion_bfs_pair(dataset, chip=chip)
+
+
+class TestExperimentDriver:
+    def test_increment_cycles_recorded(self, small_pair):
+        dataset, pair = small_pair
+        for result in pair.values():
+            assert len(result.increment_cycles) == dataset.num_increments
+            assert all(c > 0 for c in result.increment_cycles)
+
+    def test_bfs_run_does_at_least_as_much_work(self, small_pair):
+        _, pair = small_pair
+        assert pair["ingestion_bfs"].total_cycles >= pair["ingestion"].total_cycles
+        assert (
+            pair["ingestion_bfs"].summary["messages_injected"]
+            > pair["ingestion"].summary["messages_injected"]
+        )
+
+    def test_all_edges_stored_in_both_runs(self, small_pair):
+        dataset, pair = small_pair
+        for result in pair.values():
+            assert result.edges_stored == dataset.total_edges
+
+    def test_bfs_reached_only_in_bfs_run(self, small_pair):
+        _, pair = small_pair
+        assert pair["ingestion"].bfs_reached == 0
+        assert pair["ingestion_bfs"].bfs_reached > 1
+
+    def test_activation_series_length_matches_cycles(self, small_pair):
+        _, pair = small_pair
+        result = pair["ingestion_bfs"]
+        assert len(result.activation_percent) == result.summary["cycles"]
+        assert result.activation_percent.max() <= 100.0
+
+    def test_energy_positive_and_bfs_costs_more(self, small_pair):
+        _, pair = small_pair
+        assert pair["ingestion"].energy.total_uj > 0
+        assert pair["ingestion_bfs"].energy.total_uj > pair["ingestion"].energy.total_uj
+
+    def test_series_helper_labels(self, small_pair):
+        _, pair = small_pair
+        assert pair["ingestion"].series().label == "Streaming Edges"
+        assert pair["ingestion_bfs"].series().label == "Streaming Edges with BFS"
+        assert pair["ingestion"].series().total == pair["ingestion"].total_cycles
+
+
+class TestFigures:
+    def test_increment_figure_series(self, small_pair):
+        _, pair = small_pair
+        fig = increment_figure(pair)
+        assert set(fig.series) == {"Streaming Edges", "Streaming Edges with BFS"}
+        assert len(fig.series["Streaming Edges"]) == 5
+
+    def test_activation_figure(self, small_pair):
+        _, pair = small_pair
+        fig = activation_figure(pair["ingestion_bfs"])
+        assert "Cells Active Percent" in fig.series
+
+    def test_downsample_preserves_short_series(self):
+        data = np.arange(10.0)
+        assert np.array_equal(downsample_series(data, 20), data)
+
+    def test_downsample_reduces_long_series(self):
+        data = np.arange(1000.0)
+        out = downsample_series(data, 100)
+        assert len(out) <= 100 + 1
+        assert out[0] < out[-1]
+
+    def test_render_ascii_plot_contains_title_and_legend(self, small_pair):
+        _, pair = small_pair
+        text = render_ascii_plot(increment_figure(pair, title="My Figure"))
+        assert "My Figure" in text
+        assert "Streaming Edges with BFS" in text
+
+    def test_render_ascii_plot_empty(self):
+        fig = FigureData(title="empty", x_label="x", y_label="y")
+        assert "no data" in render_ascii_plot(fig)
+
+
+class TestTables:
+    def test_table1_rows_shape(self):
+        datasets = paper_dataset_configs(scale="tiny", seed=2)
+        rows = table1_rows(datasets)
+        assert len(rows) == 4
+        for row in rows:
+            assert row["Final Edges"] == sum(row[f"Inc {i}"] for i in range(1, 11))
+
+    def test_table2_rows(self, small_pair):
+        _, pair = small_pair
+        rows = table2_rows({"my-dataset": pair})
+        row = rows[0]
+        assert row["Dataset"] == "my-dataset"
+        assert row["Ingestion & BFS Energy (uJ)"] >= row["Ingestion Energy (uJ)"]
+        assert row["Ingestion & BFS Time (us)"] >= row["Ingestion Time (us)"]
+
+    def test_render_table_alignment(self):
+        rows = [{"A": 1, "B": "x"}, {"A": 22, "B": "yy"}]
+        text = render_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_render_table_empty(self):
+        assert render_table([]) == "(empty table)"
+
+    def test_render_table_truncates_long_values(self):
+        text = render_table([{"A": "x" * 50}], max_width=10)
+        assert "…" in text

@@ -1,0 +1,151 @@
+"""Tests for the NetworkX oracle, the BSP engine and the static-recompute baseline."""
+
+import networkx as nx
+import pytest
+
+from repro.arch.config import ChipConfig
+from repro.baselines.bsp import BSPCostModel, BSPEngine, bsp_incremental_bfs
+from repro.baselines.networkx_ref import (
+    IncrementalOracle,
+    build_networkx,
+    reachable_counts_per_increment,
+)
+from repro.baselines.static_recompute import static_recompute_bfs
+from repro.datasets.streaming import make_streaming_dataset
+from repro.graph.rpvo import Edge, INFINITY
+
+from conftest import random_edges
+
+
+class TestBuildNetworkx:
+    def test_nodes_and_edges(self):
+        g = build_networkx([Edge(0, 1), Edge(1, 2)], num_vertices=5)
+        assert g.number_of_nodes() == 5
+        assert g.number_of_edges() == 2
+        assert g.is_directed()
+
+    def test_parallel_edges_keep_min_weight(self):
+        g = build_networkx([Edge(0, 1, 9), Edge(0, 1, 2)], num_vertices=2)
+        assert g[0][1]["weight"] == 2
+
+    def test_undirected_option(self):
+        g = build_networkx([Edge(0, 1)], num_vertices=2, directed=False)
+        assert not g.is_directed()
+
+
+class TestIncrementalOracle:
+    @pytest.fixture
+    def dataset(self):
+        return make_streaming_dataset(80, 600, sampling="edge", num_increments=4, seed=5)
+
+    def test_apply_increment_accumulates(self, dataset):
+        oracle = IncrementalOracle(dataset)
+        for k in range(dataset.num_increments):
+            oracle.apply_increment()
+        assert oracle.increments_applied == dataset.num_increments
+        assert oracle.graph.number_of_edges() <= dataset.total_edges
+
+    def test_graph_after_matches_prefix(self, dataset):
+        oracle = IncrementalOracle(dataset)
+        g2 = oracle.graph_after(2)
+        expected = build_networkx(dataset.prefix_edges(2), dataset.num_vertices)
+        assert g2.number_of_edges() == expected.number_of_edges()
+
+    def test_bfs_levels_and_missing_root(self, dataset):
+        oracle = IncrementalOracle(dataset)
+        oracle.apply_increment()
+        levels = oracle.bfs_levels(0)
+        assert levels.get(0) == 0
+        assert oracle.bfs_levels(10**6) == {}
+
+    def test_component_labels_partition_vertices(self, dataset):
+        oracle = IncrementalOracle(dataset)
+        oracle.apply_increment()
+        labels = oracle.component_labels()
+        assert set(labels) == set(range(dataset.num_vertices))
+        for vid, label in labels.items():
+            assert labels[label] == label
+
+    def test_triangle_count_nonnegative(self, dataset):
+        oracle = IncrementalOracle(dataset)
+        oracle.apply_increment()
+        assert oracle.triangle_count() >= 0
+
+    def test_sssp_distances(self, dataset):
+        oracle = IncrementalOracle(dataset)
+        oracle.apply_increment()
+        dists = oracle.sssp_distances(0)
+        assert dists.get(0) == 0
+
+    def test_reachable_counts_monotone(self, dataset):
+        counts = reachable_counts_per_increment(dataset, root=0)
+        assert len(counts) == dataset.num_increments
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+
+
+class TestBSPEngine:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BSPEngine(0)
+        with pytest.raises(ValueError):
+            BSPEngine(10, num_workers=0)
+
+    def test_bfs_matches_networkx(self):
+        num_vertices = 60
+        edges = random_edges(num_vertices, 400, seed=1)
+        engine = BSPEngine(num_vertices, num_workers=8)
+        engine.add_edges(edges)
+        result = engine.run_bfs(root=0)
+        g = build_networkx(edges, num_vertices)
+        expected = dict(nx.single_source_shortest_path_length(g, 0))
+        got = {v: lvl for v, lvl in result.values.items() if lvl != INFINITY}
+        assert got == expected
+
+    def test_supersteps_equal_bfs_depth_plus_one(self):
+        edges = [Edge(0, 1), Edge(1, 2), Edge(2, 3)]
+        engine = BSPEngine(4, num_workers=2)
+        engine.add_edges(edges)
+        result = engine.run_bfs(root=0)
+        assert result.supersteps == 4  # one per frontier level incl. last empty send
+
+    def test_cost_includes_barrier_per_superstep(self):
+        cost = BSPCostModel(barrier_cycles=1000)
+        engine = BSPEngine(4, num_workers=2, cost_model=cost)
+        engine.add_edges([Edge(0, 1), Edge(1, 2)])
+        result = engine.run_bfs(root=0)
+        assert result.estimated_cycles >= 1000 * result.supersteps
+
+    def test_incremental_warm_start_cheaper_than_cold(self):
+        num_vertices = 120
+        dataset = make_streaming_dataset(num_vertices, 1200, sampling="edge", seed=3)
+        warm = bsp_incremental_bfs(num_vertices, dataset.increments, root=0)
+        # Cold recompute of the final graph for reference correctness.
+        engine = BSPEngine(num_vertices)
+        engine.add_edges(dataset.all_edges())
+        cold = engine.run_bfs(root=0)
+        g = build_networkx(dataset.all_edges(), num_vertices)
+        expected = dict(nx.single_source_shortest_path_length(g, 0))
+        final_warm = {v: l for v, l in warm[-1].values.items() if l != INFINITY}
+        assert final_warm == expected
+        # warm-started increments touch only the affected frontier, so at
+        # least some of them are cheaper than a cold full recompute.
+        assert min(r.estimated_cycles for r in warm[1:]) <= cold.estimated_cycles
+        assert sum(r.messages for r in warm[1:]) < len(warm[1:]) * cold.messages
+
+    def test_superstep_cost_uses_slowest_worker(self):
+        cost = BSPCostModel(barrier_cycles=10)
+        assert cost.superstep_cost([5, 50, 1]) == 60
+        assert cost.superstep_cost([]) == 10
+
+
+class TestStaticRecompute:
+    def test_recompute_costs_grow_with_graph(self):
+        chip = ChipConfig.small(edge_list_capacity=4)
+        dataset = make_streaming_dataset(60, 500, sampling="edge",
+                                         num_increments=4, seed=6)
+        result = static_recompute_bfs(chip, dataset.increments, 60, root=0, seed=1)
+        assert len(result.recompute_cycles) == 4
+        assert len(result.ingestion_cycles) == 4
+        # recomputing over a larger stored graph can only take more work:
+        assert result.recompute_cycles[-1] >= result.recompute_cycles[0]
+        assert all(c > 0 for c in result.total_cycles)

@@ -1,0 +1,133 @@
+"""Correctness tests for streaming dynamic BFS (verified against NetworkX)."""
+
+import networkx as nx
+import pytest
+
+from repro.arch.config import ChipConfig
+from repro.baselines.networkx_ref import build_networkx
+from repro.graph.rpvo import Edge
+
+from conftest import build_bfs_graph, random_edges
+
+
+def reference_levels(edges, num_vertices, root):
+    return dict(
+        nx.single_source_shortest_path_length(
+            build_networkx(edges, num_vertices), root
+        )
+    )
+
+
+class TestBFSCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx_single_increment(self, small_chip, seed):
+        num_vertices = 60
+        edges = random_edges(num_vertices, 400, seed=seed)
+        _, graph, bfs = build_bfs_graph(small_chip, num_vertices, root=0, seed=seed)
+        graph.stream_increment(edges)
+        assert bfs.results(graph) == reference_levels(edges, num_vertices, 0)
+
+    def test_matches_networkx_after_every_increment(self, small_chip):
+        """The incremental result equals a from-scratch BFS after every prefix."""
+        num_vertices = 50
+        increments = [random_edges(num_vertices, 120, seed=k) for k in range(4)]
+        _, graph, bfs = build_bfs_graph(small_chip, num_vertices, root=0)
+        streamed = []
+        for inc in increments:
+            graph.stream_increment(inc)
+            streamed.extend(inc)
+            assert bfs.results(graph) == reference_levels(streamed, num_vertices, 0)
+
+    def test_nonzero_root(self, small_chip):
+        num_vertices = 40
+        edges = random_edges(num_vertices, 250, seed=4)
+        _, graph, bfs = build_bfs_graph(small_chip, num_vertices, root=7)
+        graph.stream_increment(edges)
+        assert bfs.results(graph) == reference_levels(edges, num_vertices, 7)
+
+    def test_disconnected_vertices_stay_unreached(self, small_chip):
+        # Two components: 0-1-2 and 10-11; root 0 never reaches 10, 11.
+        edges = [Edge(0, 1), Edge(1, 2), Edge(10, 11)]
+        _, graph, bfs = build_bfs_graph(small_chip, 12, root=0)
+        graph.stream_increment(edges)
+        assert bfs.results(graph) == {0: 0, 1: 1, 2: 2}
+
+    def test_level_improves_when_shortcut_arrives_later(self, small_chip):
+        """A later increment adding a shortcut must lower existing levels."""
+        _, graph, bfs = build_bfs_graph(small_chip, 6, root=0)
+        chain = [Edge(0, 1), Edge(1, 2), Edge(2, 3), Edge(3, 4)]
+        graph.stream_increment(chain)
+        assert bfs.results(graph)[4] == 4
+        graph.stream_increment([Edge(0, 4)])
+        assert bfs.results(graph)[4] == 1
+
+    def test_cycle_in_graph_terminates(self, small_chip):
+        edges = [Edge(0, 1), Edge(1, 2), Edge(2, 0)]
+        _, graph, bfs = build_bfs_graph(small_chip, 3, root=0)
+        result = graph.stream_increment(edges)
+        assert result.cycles > 0
+        assert bfs.results(graph) == {0: 0, 1: 1, 2: 2}
+
+    def test_ghost_heavy_hub_vertex_correct(self, small_chip):
+        """A hub whose edges overflow into ghosts still diffuses correctly."""
+        num_vertices = 30
+        edges = [Edge(0, v) for v in range(1, num_vertices)]
+        _, graph, bfs = build_bfs_graph(small_chip, num_vertices, root=0)
+        graph.stream_increment(edges)
+        expected = {0: 0, **{v: 1 for v in range(1, num_vertices)}}
+        assert bfs.results(graph) == expected
+        assert graph.ghost_chain_depth(0) >= 1
+
+    def test_edges_into_ghost_after_level_known(self, small_chip):
+        """Edges stored in ghost blocks created after the root got its level."""
+        num_vertices = 20
+        _, graph, bfs = build_bfs_graph(small_chip, num_vertices, root=0)
+        graph.stream_increment([Edge(0, 1)])
+        # hub 1 now has level 1; give it many edges so later ones land in ghosts
+        edges = [Edge(1, v) for v in range(2, num_vertices)]
+        graph.stream_increment(edges)
+        results = bfs.results(graph)
+        for v in range(2, num_vertices):
+            assert results[v] == 2
+
+    def test_seed_via_action(self, small_chip):
+        num_vertices = 30
+        edges = random_edges(num_vertices, 150, seed=6)
+        _, graph, bfs = build_bfs_graph(small_chip, num_vertices, root=0)
+        # stream first with root unreachable, then seed via an action
+        graph.root_block(0).set_state("level", 1 << 30)  # undo host seeding
+        graph.stream_increment(edges)
+        bfs.seed(graph, root=0, via_action=True)
+        graph.device.run(max_cycles=200_000)
+        assert bfs.results(graph) == reference_levels(edges, num_vertices, 0)
+
+    def test_seed_requires_root(self, small_chip):
+        from repro.algorithms.bfs import StreamingBFS
+        _, graph, _ = build_bfs_graph(small_chip, 5)
+        with pytest.raises(ValueError):
+            StreamingBFS().seed(graph)
+
+    def test_relaxation_counters(self, small_chip):
+        _, graph, bfs = build_bfs_graph(small_chip, 30, root=0)
+        graph.stream_increment(random_edges(30, 200, seed=8))
+        assert bfs.relaxations >= len(bfs.results(graph)) - 1
+
+    def test_xy_routing_gives_same_results(self):
+        chip = ChipConfig.small(edge_list_capacity=4, routing="xy")
+        num_vertices = 40
+        edges = random_edges(num_vertices, 200, seed=9)
+        _, graph, bfs = build_bfs_graph(chip, num_vertices, root=0)
+        graph.stream_increment(edges)
+        assert bfs.results(graph) == reference_levels(edges, num_vertices, 0)
+
+    def test_latency_fidelity_gives_same_results(self):
+        chip = ChipConfig.small(edge_list_capacity=4, fidelity="latency")
+        num_vertices = 40
+        edges = random_edges(num_vertices, 200, seed=10)
+        _, graph, bfs = build_bfs_graph(chip, num_vertices, root=0)
+        graph.stream_increment(edges)
+        assert bfs.results(graph) == reference_levels(edges, num_vertices, 0)
+
+    def test_reference_empty_when_root_missing(self, small_chip):
+        _, _, bfs = build_bfs_graph(small_chip, 5, root=0)
+        assert bfs.reference(nx.DiGraph(), root=99) == {}

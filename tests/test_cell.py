@@ -1,0 +1,152 @@
+"""Tests for the compute cell: memory, task execution, one operation per cycle."""
+
+import pytest
+
+from repro.arch.address import Address
+from repro.arch.cell import ComputeCell, Task
+from repro.arch.message import Message
+
+
+def make_cell(cc_id=0):
+    return ComputeCell(cc_id, 0, 0)
+
+
+def simple_task(cost=1, messages=None, label="t"):
+    msgs = messages or []
+    return Task(lambda: (cost, list(msgs)), label=label)
+
+
+class TestMemory:
+    def test_allocate_returns_local_address(self):
+        cell = make_cell(3)
+        addr = cell.allocate({"x": 1}, words=5)
+        assert addr.cc_id == 3
+        assert cell.get(addr) == {"x": 1}
+        assert cell.memory_words == 5
+
+    def test_allocate_unique_object_ids(self):
+        cell = make_cell()
+        addrs = [cell.allocate(i) for i in range(10)]
+        assert len({a.obj_id for a in addrs}) == 10
+
+    def test_deallocate_frees_words(self):
+        cell = make_cell()
+        addr = cell.allocate("obj", words=4)
+        cell.deallocate(addr, words=4)
+        assert cell.memory_words == 0
+        with pytest.raises(KeyError):
+            cell.get(addr)
+
+    def test_get_remote_address_raises(self):
+        cell = make_cell(0)
+        with pytest.raises(ValueError):
+            cell.get(Address(1, 0))
+
+    def test_deallocate_remote_address_raises(self):
+        cell = make_cell(0)
+        with pytest.raises(ValueError):
+            cell.deallocate(Address(2, 0))
+
+    def test_allocation_counter(self):
+        cell = make_cell()
+        for i in range(4):
+            cell.allocate(i)
+        assert cell.allocations == 4
+
+
+class TestContinuations:
+    def test_register_and_pop(self):
+        cell = make_cell()
+        cid = cell.register_continuation(lambda v: v)
+        fn = cell.pop_continuation(cid)
+        assert fn(7) == 7
+        with pytest.raises(KeyError):
+            cell.pop_continuation(cid)
+
+    def test_ids_are_unique(self):
+        cell = make_cell()
+        ids = {cell.register_continuation(lambda v: v) for _ in range(5)}
+        assert len(ids) == 5
+
+
+class TestExecution:
+    def test_idle_cell_does_nothing(self):
+        cell = make_cell()
+        assert cell.step() is None
+        assert not cell.has_work
+
+    def test_single_cycle_task(self):
+        cell = make_cell()
+        cell.enqueue_task(simple_task(cost=1))
+        assert cell.step() == "compute"
+        assert cell.step() is None
+        assert cell.tasks_executed == 1
+        assert cell.instructions_executed == 1
+
+    def test_multi_cycle_task_charges_each_cycle(self):
+        cell = make_cell()
+        cell.enqueue_task(simple_task(cost=3))
+        ops = [cell.step() for _ in range(4)]
+        assert ops == ["compute", "compute", "compute", None]
+        assert cell.instructions_executed == 3
+
+    def test_minimum_cost_is_one(self):
+        cell = make_cell()
+        cell.enqueue_task(simple_task(cost=0))
+        assert cell.step() == "compute"
+        assert cell.step() is None
+
+    def test_messages_released_after_instructions(self):
+        msg = Message(src=0, dst=1, action="a")
+        cell = make_cell()
+        cell.enqueue_task(simple_task(cost=2, messages=[msg]))
+        assert cell.step() == "compute"      # first instruction
+        assert not cell.staging              # message held until cost charged
+        assert cell.step() == "compute"      # second instruction -> release
+        assert cell.step() == "stage"        # staging takes its own cycle
+        assert cell.pop_staged() is msg
+
+    def test_one_staging_per_cycle(self):
+        msgs = [Message(src=0, dst=1, action="a") for _ in range(3)]
+        cell = make_cell()
+        cell.enqueue_task(simple_task(cost=1, messages=msgs))
+        assert cell.step() == "compute"
+        staged = []
+        for _ in range(3):
+            assert cell.step() == "stage"
+            staged.append(cell.pop_staged())
+        assert staged == msgs
+        assert cell.step() is None
+        assert cell.messages_staged == 3
+
+    def test_staging_drains_before_next_task(self):
+        msg = Message(src=0, dst=1, action="a")
+        cell = make_cell()
+        cell.enqueue_task(simple_task(cost=1, messages=[msg]))
+        cell.enqueue_task(simple_task(cost=1, label="second"))
+        assert cell.step() == "compute"
+        assert cell.step() == "stage"
+        cell.pop_staged()
+        assert cell.step() == "compute"  # only now does the second task start
+        assert cell.tasks_executed == 2
+
+    def test_has_work_reflects_all_queues(self):
+        cell = make_cell()
+        assert not cell.has_work
+        cell.enqueue_task(simple_task())
+        assert cell.has_work
+        cell.step()
+        assert not cell.has_work
+
+    def test_busy_cycles_counter(self):
+        cell = make_cell()
+        cell.enqueue_task(simple_task(cost=2))
+        cell.step()
+        cell.step()
+        assert cell.busy_cycles == 2
+
+
+class TestTaskRepr:
+    def test_task_label(self):
+        task = simple_task(label="insert-edge")
+        assert "insert-edge" in repr(task)

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.scale == "tiny"
+
+    def test_increments_arguments(self):
+        args = build_parser().parse_args(
+            ["increments", "--vertices", "100", "--edges", "800", "--sampling", "snowball"]
+        )
+        assert args.vertices == 100 and args.sampling == "snowball"
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--scale", "galactic"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Sampling Type" in out and "Final Edges" in out
+
+    def test_quickstart(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "BFS reached" in out
+
+    def test_increments_small(self, capsys):
+        code = main([
+            "increments", "--vertices", "80", "--edges", "500",
+            "--chip", "8", "--increments", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Streaming Edges with BFS" in out
+
+    def test_activation_small(self, capsys):
+        code = main([
+            "activation", "--vertices", "80", "--edges", "500",
+            "--chip", "8", "--increments", "3", "--with-bfs",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "peak activation" in out
+
+    def test_table2_tiny(self, capsys):
+        code = main(["table2", "--scale", "tiny", "--chip", "8", "--fidelity", "latency"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Ingestion & BFS Energy (uJ)" in out

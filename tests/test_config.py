@@ -1,0 +1,120 @@
+"""Tests for the chip configuration (geometry, validation, time conversion)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.config import ChipConfig
+
+
+class TestValidation:
+    def test_defaults_are_paper_chip(self):
+        cfg = ChipConfig.paper_chip()
+        assert cfg.width == 32 and cfg.height == 32
+        assert cfg.routing == "yx"
+        assert cfg.clock_ghz == 1.0
+
+    def test_small_preset(self):
+        cfg = ChipConfig.small()
+        assert cfg.num_cells == 64
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            ChipConfig(width=0, height=4)
+        with pytest.raises(ValueError):
+            ChipConfig(width=4, height=-1)
+
+    def test_rejects_unknown_routing(self):
+        with pytest.raises(ValueError):
+            ChipConfig(routing="zigzag")
+
+    def test_rejects_unknown_fidelity(self):
+        with pytest.raises(ValueError):
+            ChipConfig(fidelity="magic")
+
+    def test_rejects_unknown_io_side(self):
+        with pytest.raises(ValueError):
+            ChipConfig(io_sides=("west", "up"))
+
+    def test_rejects_bad_clock_and_capacity(self):
+        with pytest.raises(ValueError):
+            ChipConfig(clock_ghz=0)
+        with pytest.raises(ValueError):
+            ChipConfig(edge_list_capacity=0)
+        with pytest.raises(ValueError):
+            ChipConfig(ghost_slots=0)
+
+    def test_with_override(self):
+        cfg = ChipConfig.paper_chip(width=16, height=8)
+        assert (cfg.width, cfg.height) == (16, 8)
+        cfg2 = cfg.with_(routing="xy")
+        assert cfg2.routing == "xy" and cfg.routing == "yx"
+
+
+class TestGeometry:
+    def test_coords_roundtrip(self):
+        cfg = ChipConfig(width=5, height=3)
+        for cc in range(cfg.num_cells):
+            x, y = cfg.coords_of(cc)
+            assert cfg.cc_at(x, y) == cc
+
+    def test_coords_out_of_range(self):
+        cfg = ChipConfig(width=4, height=4)
+        with pytest.raises(ValueError):
+            cfg.coords_of(16)
+        with pytest.raises(ValueError):
+            cfg.cc_at(4, 0)
+
+    def test_manhattan_distance(self):
+        cfg = ChipConfig(width=8, height=8)
+        a = cfg.cc_at(0, 0)
+        b = cfg.cc_at(7, 7)
+        assert cfg.manhattan(a, b) == 14
+        assert cfg.manhattan(a, a) == 0
+
+    def test_neighbors_corner_edge_interior(self):
+        cfg = ChipConfig(width=4, height=4)
+        assert len(cfg.neighbors(cfg.cc_at(0, 0))) == 2
+        assert len(cfg.neighbors(cfg.cc_at(1, 0))) == 3
+        assert len(cfg.neighbors(cfg.cc_at(1, 1))) == 4
+
+    def test_neighbors_are_adjacent(self):
+        cfg = ChipConfig(width=6, height=5)
+        for cc in range(cfg.num_cells):
+            for n in cfg.neighbors(cc):
+                assert cfg.manhattan(cc, n) == 1
+
+    def test_cells_within_radius(self):
+        cfg = ChipConfig(width=8, height=8)
+        center = cfg.cc_at(4, 4)
+        within2 = cfg.cells_within(center, 2)
+        assert center in within2
+        assert all(cfg.manhattan(center, c) <= 2 for c in within2)
+        # A full (non-clipped) 2-hop diamond has 13 cells.
+        assert len(within2) == 13
+
+    def test_cells_within_clipped_at_border(self):
+        cfg = ChipConfig(width=8, height=8)
+        corner = cfg.cc_at(0, 0)
+        within2 = cfg.cells_within(corner, 2)
+        assert len(within2) == 6  # quarter diamond
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=2, max_value=12))
+    def test_property_every_cell_has_2_to_4_neighbors(self, w, h):
+        cfg = ChipConfig(width=w, height=h)
+        for cc in range(cfg.num_cells):
+            assert 2 <= len(cfg.neighbors(cc)) <= 4
+
+
+class TestTime:
+    def test_cycles_to_seconds_at_1ghz(self):
+        cfg = ChipConfig(clock_ghz=1.0)
+        assert cfg.cycles_to_seconds(1_000_000_000) == pytest.approx(1.0)
+
+    def test_cycles_to_microseconds(self):
+        cfg = ChipConfig(clock_ghz=1.0)
+        assert cfg.cycles_to_microseconds(1000) == pytest.approx(1.0)
+
+    def test_faster_clock_is_shorter_time(self):
+        slow = ChipConfig(clock_ghz=1.0)
+        fast = ChipConfig(clock_ghz=2.0)
+        assert fast.cycles_to_seconds(100) < slow.cycles_to_seconds(100)

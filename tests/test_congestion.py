@@ -1,0 +1,99 @@
+"""Tests for the congestion / load-imbalance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.congestion import (
+    CongestionReport,
+    analyze_congestion,
+    compare_sampling_congestion,
+)
+from repro.arch.config import ChipConfig
+from repro.graph.graph import DynamicGraph
+from repro.graph.rpvo import Edge
+from repro.runtime.device import AMCCADevice
+
+from conftest import random_edges
+
+
+def run_graph(edges, num_vertices=30, chip=None):
+    chip = chip or ChipConfig.small(edge_list_capacity=8)
+    device = AMCCADevice(chip)
+    graph = DynamicGraph(device, num_vertices, seed=3)
+    graph.stream_increment(edges)
+    return device, graph
+
+
+class TestCongestionReport:
+    def test_report_totals_match_device(self):
+        device, graph = run_graph(random_edges(30, 200, seed=1))
+        report = analyze_congestion(device, graph)
+        assert report.total_tasks == device.stats().tasks_executed
+        assert report.per_cell_tasks.shape == (device.config.num_cells,)
+
+    def test_hotspots_sorted_and_annotated(self):
+        device, graph = run_graph(random_edges(30, 200, seed=2))
+        report = analyze_congestion(device, graph, hotspot_count=3)
+        assert len(report.hotspots) == 3
+        loads = [h["tasks"] for h in report.hotspots]
+        assert loads == sorted(loads, reverse=True)
+        assert all("hosted_vertices" in h for h in report.hotspots)
+
+    def test_hotspots_without_graph(self):
+        device, _ = run_graph(random_edges(30, 100, seed=3))
+        report = analyze_congestion(device, graph=None, hotspot_count=2)
+        assert all("hosted_vertices" not in h for h in report.hotspots)
+
+    def test_heatmap_dimensions(self):
+        device, graph = run_graph(random_edges(30, 100, seed=4))
+        report = analyze_congestion(device, graph)
+        lines = report.heatmap().splitlines()
+        assert len(lines) == device.config.height
+        assert all(len(line) == device.config.width for line in lines)
+
+    def test_summary_keys(self):
+        device, graph = run_graph(random_edges(30, 100, seed=5))
+        summary = analyze_congestion(device, graph).summary()
+        assert {"total_tasks", "max_over_mean", "gini", "idle_cells"} <= set(summary)
+
+    def test_gini_zero_for_balanced_load(self):
+        cfg = ChipConfig(width=2, height=2)
+        report = CongestionReport(
+            per_cell_tasks=np.array([5, 5, 5, 5]),
+            per_cell_instructions=np.zeros(4, dtype=int),
+            per_cell_staged=np.zeros(4, dtype=int),
+            config=cfg,
+        )
+        assert report.gini == pytest.approx(0.0)
+        assert report.max_over_mean == pytest.approx(1.0)
+
+    def test_gini_high_for_single_hotspot(self):
+        cfg = ChipConfig(width=2, height=2)
+        report = CongestionReport(
+            per_cell_tasks=np.array([100, 0, 0, 0]),
+            per_cell_instructions=np.zeros(4, dtype=int),
+            per_cell_staged=np.zeros(4, dtype=int),
+            config=cfg,
+        )
+        assert report.gini > 0.7
+        assert report.max_over_mean == pytest.approx(4.0)
+
+    def test_empty_run_is_all_zero(self):
+        device = AMCCADevice(ChipConfig(width=2, height=2))
+        report = analyze_congestion(device)
+        assert report.total_tasks == 0
+        assert report.gini == 0.0
+        assert report.max_over_mean == 0.0
+
+
+class TestSamplingComparison:
+    def test_hub_stream_is_more_skewed_than_uniform_stream(self):
+        """A stream hammering one vertex shows higher imbalance than a spread one."""
+        uniform_dev, uniform_graph = run_graph(random_edges(30, 300, seed=6))
+        hub_edges = [Edge(0, 1 + (i % 29)) for i in range(300)]
+        hub_dev, hub_graph = run_graph(hub_edges)
+        uniform = analyze_congestion(uniform_dev, uniform_graph)
+        hub = analyze_congestion(hub_dev, hub_graph)
+        comparison = compare_sampling_congestion(uniform, hub)
+        assert comparison["snowball_more_skewed"] == 1.0
+        assert hub.gini > uniform.gini

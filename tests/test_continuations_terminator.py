@@ -1,0 +1,123 @@
+"""Tests for the continuation (call/cc) machinery and termination detection."""
+
+import pytest
+
+from repro.arch.address import Address
+from repro.arch.config import ChipConfig
+from repro.runtime.continuations import SYS_ALLOCATE, SYS_CONTINUATION
+from repro.runtime.device import AMCCADevice
+from repro.runtime.terminator import TerminationError, Terminator
+
+
+class TestContinuationAllocation:
+    """The four-step asynchronous allocation of Figure 3."""
+
+    def _run_allocation(self, origin_cc=0, destination_cc=15):
+        device = AMCCADevice(ChipConfig(width=4, height=4))
+        observed = {}
+
+        def starter(ctx, _obj):
+            ctx.call_cc_allocate(
+                factory=lambda: {"kind": "ghost"},
+                words=4,
+                destination_cc=destination_cc,
+                then=lambda c2, addr: observed.setdefault("address", addr),
+            )
+
+        device.register_action("starter", starter)
+        device.send("starter", Address(origin_cc, -1))
+        device.run(max_cycles=500)
+        return device, observed
+
+    def test_system_actions_registered(self):
+        device = AMCCADevice(ChipConfig(width=4, height=4))
+        assert SYS_ALLOCATE in device.registry
+        assert SYS_CONTINUATION in device.registry
+
+    def test_object_allocated_on_destination_cell(self):
+        device, observed = self._run_allocation(destination_cc=15)
+        addr = observed["address"]
+        assert addr.cc_id == 15
+        assert device.get_object(addr) == {"kind": "ghost"}
+
+    def test_continuation_resumes_on_origin_cell(self):
+        device, observed = self._run_allocation(origin_cc=0, destination_cc=15)
+        # continuation table of the origin cell must be empty again
+        assert device.simulator.cell(0).continuations == {}
+        assert device.continuations.created == 1
+        assert device.continuations.resumed == 1
+
+    def test_allocation_to_same_cell_works(self):
+        device, observed = self._run_allocation(origin_cc=5, destination_cc=5)
+        assert observed["address"].cc_id == 5
+
+    def test_multiple_concurrent_allocations(self):
+        device = AMCCADevice(ChipConfig(width=4, height=4))
+        results = []
+
+        def starter(ctx, _obj, destination):
+            ctx.call_cc_allocate(
+                factory=lambda: destination,
+                words=1,
+                destination_cc=destination,
+                then=lambda c2, addr: results.append((destination, addr.cc_id)),
+            )
+
+        device.register_action("starter", starter)
+        for dst in (1, 7, 12):
+            device.send("starter", Address(0, -1), dst)
+        device.run(max_cycles=1000)
+        assert sorted(results) == [(1, 1), (7, 7), (12, 12)]
+
+
+class TestTerminator:
+    def test_quiet_initially(self):
+        term = Terminator()
+        assert term.quiet
+        assert not term.is_finished
+
+    def test_sent_and_completed_balance(self):
+        term = Terminator()
+        term.on_sent(3)
+        assert not term.quiet
+        term.on_completed(2)
+        assert not term.quiet
+        term.on_completed(1)
+        assert term.quiet
+        assert term.total_sent == 3 and term.total_completed == 3
+
+    def test_negative_count_raises(self):
+        term = Terminator()
+        with pytest.raises(TerminationError):
+            term.on_completed()
+
+    def test_mark_finished_once(self):
+        term = Terminator()
+        term.mark_finished(100)
+        term.mark_finished(200)
+        assert term.finished_cycle == 100
+        assert term.is_finished
+
+    def test_reset_rearms(self):
+        term = Terminator()
+        term.on_sent()
+        term.on_completed()
+        term.mark_finished(5)
+        term.reset()
+        assert not term.is_finished
+
+    def test_reset_with_outstanding_work_raises(self):
+        term = Terminator()
+        term.on_sent()
+        with pytest.raises(TerminationError):
+            term.reset()
+
+    def test_device_run_marks_terminator_finished(self):
+        device = AMCCADevice(ChipConfig(width=4, height=4))
+        device.register_action("noop", lambda ctx, obj: None)
+        term = Terminator("t")
+        device.send("noop", Address(9, -1))
+        device.run(terminator=term, max_cycles=200)
+        assert term.is_finished
+        assert term.quiet
+        assert term.total_sent >= 1

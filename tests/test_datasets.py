@@ -1,0 +1,242 @@
+"""Tests for the dataset generators, sampling orders and file IO."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.io import (
+    read_edge_list,
+    read_streaming_dataset,
+    write_edge_list,
+    write_streaming_dataset,
+)
+from repro.datasets.rmat import generate_rmat
+from repro.datasets.sampling import (
+    edge_sampling_increments,
+    increment_sizes,
+    snowball_sampling_increments,
+    split_even,
+)
+from repro.datasets.sbm import SBMParams, block_of, generate_sbm, generate_sbm_arrays, symmetrize
+from repro.datasets.streaming import (
+    SCALE_PRESETS,
+    make_streaming_dataset,
+    paper_dataset_configs,
+)
+from repro.graph.rpvo import Edge
+
+
+class TestSBMParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SBMParams(num_vertices=1, num_edges=5)
+        with pytest.raises(ValueError):
+            SBMParams(num_vertices=10, num_edges=0)
+        with pytest.raises(ValueError):
+            SBMParams(num_vertices=10, num_edges=5, num_blocks=20)
+        with pytest.raises(ValueError):
+            SBMParams(num_vertices=10, num_edges=5, intra_prob=1.5)
+        with pytest.raises(ValueError):
+            SBMParams(num_vertices=10, num_edges=5, degree_exponent=1.0)
+
+    def test_block_assignment_contiguous_and_complete(self):
+        params = SBMParams(num_vertices=100, num_edges=10, num_blocks=7)
+        blocks = block_of(params, np.arange(100))
+        assert blocks.min() == 0 and blocks.max() == 6
+        assert np.all(np.diff(blocks) >= 0)
+
+
+class TestGenerateSBM:
+    def test_edge_count_and_vertex_range(self):
+        params = SBMParams(num_vertices=200, num_edges=1500, seed=1)
+        edges = generate_sbm(params)
+        assert len(edges) == 1500
+        assert all(0 <= e.src < 200 and 0 <= e.dst < 200 for e in edges)
+
+    def test_no_self_loops_by_default(self):
+        edges = generate_sbm(SBMParams(num_vertices=100, num_edges=2000, seed=2))
+        assert all(e.src != e.dst for e in edges)
+
+    def test_seed_determinism(self):
+        params = SBMParams(num_vertices=100, num_edges=500, seed=42)
+        assert generate_sbm(params) == generate_sbm(params)
+
+    def test_different_seeds_differ(self):
+        a = generate_sbm(SBMParams(num_vertices=100, num_edges=500, seed=1))
+        b = generate_sbm(SBMParams(num_vertices=100, num_edges=500, seed=2))
+        assert a != b
+
+    def test_community_structure_dominates(self):
+        """With intra_prob=0.9, most edges stay inside their source's block."""
+        params = SBMParams(num_vertices=400, num_edges=8000, num_blocks=8,
+                           intra_prob=0.9, seed=3)
+        srcs, dsts = generate_sbm_arrays(params)
+        same = block_of(params, srcs) == block_of(params, dsts)
+        assert same.mean() > 0.7
+
+    def test_degree_skew(self):
+        """Heavy-tailed propensities produce a skewed out-degree distribution."""
+        params = SBMParams(num_vertices=500, num_edges=10_000, degree_exponent=1.8, seed=4)
+        srcs, _ = generate_sbm_arrays(params)
+        degrees = np.bincount(srcs, minlength=500)
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_symmetrize_doubles_edges(self):
+        edges = [Edge(0, 1), Edge(2, 3)]
+        sym = symmetrize(edges)
+        assert len(sym) == 4
+        assert Edge(1, 0) in sym and Edge(3, 2) in sym
+
+
+class TestSplitEven:
+    def test_lengths_sum(self):
+        parts = split_even(list(range(23)), 5)
+        assert sum(len(p) for p in parts) == 23
+        assert len(parts) == 5
+        assert max(len(p) for p in parts) - min(len(p) for p in parts) <= 1
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            split_even([1, 2], 0)
+
+    @given(st.integers(min_value=0, max_value=200), st.integers(min_value=1, max_value=20))
+    def test_property_partition(self, n, parts):
+        items = list(range(n))
+        chunks = split_even(items, parts)
+        assert len(chunks) == parts
+        flat = [x for chunk in chunks for x in chunk]
+        assert flat == items
+
+
+class TestSamplingOrders:
+    def _edges(self, seed=0):
+        return generate_sbm(SBMParams(num_vertices=150, num_edges=1200, seed=seed))
+
+    def test_edge_sampling_is_a_permutation(self):
+        edges = self._edges()
+        increments = edge_sampling_increments(edges, 10, seed=1)
+        assert sorted(map(repr, edges)) == sorted(
+            repr(e) for chunk in increments for e in chunk
+        )
+
+    def test_edge_sampling_increments_are_even(self):
+        sizes = increment_sizes(edge_sampling_increments(self._edges(), 10, seed=1))
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_snowball_preserves_every_edge(self):
+        edges = self._edges()
+        increments = snowball_sampling_increments(edges, 150, 10, seed=1)
+        assert sum(len(c) for c in increments) == len(edges)
+
+    def test_snowball_increments_grow(self):
+        """Later snowball increments carry more edges than early ones (Table 1 shape)."""
+        edges = generate_sbm(SBMParams(num_vertices=600, num_edges=9000,
+                                       num_blocks=20, seed=5))
+        sizes = increment_sizes(snowball_sampling_increments(edges, 600, 10, seed=5))
+        first_third = sum(sizes[:3])
+        last_third = sum(sizes[-3:])
+        assert last_third > 1.3 * first_third
+
+    def test_snowball_determinism(self):
+        edges = self._edges(seed=2)
+        a = snowball_sampling_increments(edges, 150, 10, seed=9)
+        b = snowball_sampling_increments(edges, 150, 10, seed=9)
+        assert a == b
+
+    def test_sampling_counts_of_increments(self):
+        edges = self._edges()
+        assert len(edge_sampling_increments(edges, 7, seed=0)) == 7
+        assert len(snowball_sampling_increments(edges, 150, 7, seed=0)) == 7
+
+
+class TestStreamingDataset:
+    def test_make_dataset_totals(self):
+        ds = make_streaming_dataset(200, 1800, sampling="edge", seed=3)
+        assert ds.total_edges == 1800
+        assert ds.num_increments == 10
+        assert len(ds.all_edges()) == 1800
+
+    def test_prefix_edges(self):
+        ds = make_streaming_dataset(100, 900, sampling="edge", seed=3)
+        assert len(ds.prefix_edges(3)) == sum(ds.increment_sizes()[:3])
+
+    def test_summary_row_fields(self):
+        ds = make_streaming_dataset(100, 900, sampling="snowball", seed=3)
+        row = ds.summary_row()
+        assert row["vertices"] == 100
+        assert row["sampling"] == "snowball"
+        assert len(row["increments"]) == 10
+
+    def test_unknown_sampling_rejected(self):
+        with pytest.raises(ValueError):
+            make_streaming_dataset(100, 500, sampling="spiral")
+
+    def test_symmetric_doubles_edges(self):
+        ds = make_streaming_dataset(100, 500, symmetric=True, seed=1)
+        assert ds.total_edges == 1000
+
+    def test_paper_dataset_configs_scaled(self):
+        datasets = paper_dataset_configs(scale="tiny", seed=1)
+        assert len(datasets) == 4
+        names = {d.name for d in datasets}
+        assert any("50k" in n and "edge" in n for n in names)
+        assert any("500k" in n and "snowball" in n for n in names)
+        small, large = datasets[0], datasets[2]
+        assert large.num_vertices == 10 * small.num_vertices
+
+    def test_paper_dataset_configs_numeric_scale(self):
+        datasets = paper_dataset_configs(scale=0.001, seed=1)
+        assert datasets[0].num_vertices >= 64
+
+    def test_scale_presets_exist(self):
+        assert {"tiny", "small", "paper"} <= set(SCALE_PRESETS)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            paper_dataset_configs(scale=0.0)
+
+
+class TestRMAT:
+    def test_vertex_range_and_skew(self):
+        edges = generate_rmat(scale=8, edge_factor=8, seed=1)
+        assert all(0 <= e.src < 256 and 0 <= e.dst < 256 for e in edges)
+        degrees = np.bincount([e.src for e in edges], minlength=256)
+        assert degrees.max() > 5 * max(1.0, degrees.mean())
+
+    def test_seed_determinism(self):
+        assert generate_rmat(6, seed=3) == generate_rmat(6, seed=3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_rmat(0)
+        with pytest.raises(ValueError):
+            generate_rmat(4, a=0.5, b=0.4, c=0.3)
+
+
+class TestIO:
+    def test_edge_list_roundtrip(self, tmp_path):
+        edges = [Edge(0, 1, 3), Edge(2, 5, 1)]
+        path = tmp_path / "edges.tsv"
+        write_edge_list(path, edges)
+        assert read_edge_list(path) == edges
+
+    def test_edge_list_skips_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("# header\n\n0\t1\n2\t3\t7\n")
+        assert read_edge_list(path) == [Edge(0, 1, 1), Edge(2, 3, 7)]
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("42\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_streaming_dataset_roundtrip(self, tmp_path):
+        ds = make_streaming_dataset(80, 400, sampling="snowball", seed=2)
+        write_streaming_dataset(tmp_path / "ds", ds)
+        loaded = read_streaming_dataset(tmp_path / "ds")
+        assert loaded.name == ds.name
+        assert loaded.num_vertices == ds.num_vertices
+        assert loaded.sampling == ds.sampling
+        assert loaded.increment_sizes() == ds.increment_sizes()
+        assert loaded.all_edges() == ds.all_edges()

@@ -1,0 +1,129 @@
+"""Tests for the AMCCADevice facade (the paper's Listing 1 host API)."""
+
+import pytest
+
+from repro.arch.address import Address
+from repro.arch.config import ChipConfig
+from repro.arch.message import Message
+from repro.runtime.device import AMCCADevice
+from repro.runtime.terminator import Terminator
+
+
+@pytest.fixture
+def device():
+    return AMCCADevice(ChipConfig(width=4, height=4))
+
+
+class TestRegistration:
+    def test_register_and_send(self, device):
+        hits = []
+        device.register_action("ping", lambda ctx, obj, x: hits.append(x))
+        device.send("ping", Address(10, -1), 99)
+        device.run(max_cycles=100)
+        assert hits == [99]
+
+    def test_send_unregistered_raises(self, device):
+        with pytest.raises(KeyError):
+            device.send("missing", Address(0, -1))
+
+    def test_data_transfer_requires_registered_action(self, device):
+        with pytest.raises(KeyError):
+            device.register_data_transfer([1, 2], "missing", lambda item: (Address(0, -1), ()))
+
+    def test_default_config_is_paper_chip(self):
+        dev = AMCCADevice()
+        assert dev.config.width == 32 and dev.config.height == 32
+
+
+class TestMemory:
+    def test_allocate_on_and_get_object(self, device):
+        addr = device.allocate_on(7, {"a": 1}, words=2)
+        assert addr.cc_id == 7
+        assert device.get_object(addr) == {"a": 1}
+        assert device.memory_occupancy()[7] == 2
+
+
+class TestDataTransfer:
+    def test_items_streamed_through_io_cells(self, device):
+        received = []
+        device.register_action(
+            "collect", lambda ctx, obj, item: received.append(item)
+        )
+        targets = {i: device.allocate_on(i % device.config.num_cells, f"v{i}")
+                   for i in range(8)}
+        count = device.register_data_transfer(
+            list(range(8)), "collect", lambda item: (targets[item], (item,))
+        )
+        assert count == 8
+        device.run(max_cycles=500)
+        assert sorted(received) == list(range(8))
+
+    def test_target_object_passed_to_handler(self, device):
+        seen = []
+        device.register_action("touch", lambda ctx, obj: seen.append(obj))
+        addr = device.allocate_on(3, "the-object")
+        device.register_data_transfer([0], "touch", lambda item: (addr, ()))
+        device.run(max_cycles=200)
+        assert seen == ["the-object"]
+
+
+class TestRun:
+    def test_run_returns_cycle_counts(self, device):
+        device.register_action("noop", lambda ctx, obj: None)
+        device.send("noop", Address(15, -1))
+        result = device.run(max_cycles=200, phase="phase-a")
+        assert result.cycles > 0
+        assert result.phase == "phase-a"
+        assert result.end_cycle == result.start_cycle + result.cycles
+
+    def test_sequential_runs_accumulate_cycles(self, device):
+        device.register_action("noop", lambda ctx, obj: None)
+        device.send("noop", Address(15, -1))
+        first = device.run(max_cycles=200)
+        device.send("noop", Address(12, -1))
+        second = device.run(max_cycles=200)
+        assert second.start_cycle == first.end_cycle
+        assert device.simulator.cycle == second.end_cycle
+
+    def test_terminator_finishes(self, device):
+        device.register_action("noop", lambda ctx, obj: None)
+        term = Terminator()
+        device.send("noop", Address(5, -1))
+        device.run(terminator=term, max_cycles=200)
+        assert term.is_finished and term.quiet
+
+    def test_host_entry_cell_uses_io_border(self):
+        dev = AMCCADevice(ChipConfig(width=4, height=4, io_sides=("west",)))
+        entry = dev._host_entry_cell(dev.config.cc_at(3, 2))
+        assert dev.config.coords_of(entry) == (0, 2)
+
+    def test_host_entry_cell_other_sides(self):
+        for side, expected in (("east", (3, 2)), ("north", (1, 0)), ("south", (1, 3))):
+            dev = AMCCADevice(ChipConfig(width=4, height=4, io_sides=(side,)))
+            entry = dev._host_entry_cell(dev.config.cc_at(1, 2))
+            assert dev.config.coords_of(entry) == expected
+
+
+class TestDiffusion:
+    def test_propagation_chain_reaches_depth(self, device):
+        """An action that re-propagates N times visits N+1 cells."""
+        visits = []
+
+        def hop(ctx, obj, remaining):
+            visits.append(ctx.cc_id)
+            if remaining > 0:
+                nxt = (ctx.cc_id + 1) % device.config.num_cells
+                ctx.propagate("hop", Address(nxt, -1), remaining - 1)
+
+        device.register_action("hop", hop)
+        device.send("hop", Address(0, -1), 5)
+        device.run(max_cycles=500)
+        assert len(visits) == 6
+
+    def test_stats_and_energy_accessible(self, device):
+        device.register_action("noop", lambda ctx, obj: None)
+        device.send("noop", Address(3, -1))
+        device.run(max_cycles=100)
+        stats = device.stats()
+        assert stats.tasks_executed >= 1
+        assert device.energy_report().total_uj > 0

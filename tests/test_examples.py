@@ -1,0 +1,52 @@
+"""Smoke tests for the runnable examples (the fast ones).
+
+These run the example scripts' ``main()`` in-process so a refactor of the
+public API cannot silently break the documented entry points.  The slower
+examples (the full GraphChallenge demo, the allocator comparison and the
+animation) are exercised indirectly by the benchmark suite instead.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    """Import an example script as a module without executing main()."""
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleScripts:
+    def test_examples_directory_has_quickstart_plus_scenarios(self):
+        scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+        assert "quickstart.py" in scripts
+        assert len(scripts) >= 3
+
+    def test_quickstart_runs_and_verifies(self, capsys):
+        module = load_example("quickstart.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "BFS levels match NetworkX" in out
+        assert "estimated energy" in out
+
+    def test_rpvo_anatomy_runs(self, capsys):
+        module = load_example("rpvo_anatomy.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "ghost chain depth" in out
+        assert "continuations created" in out
+
+    def test_every_example_is_importable_and_has_main(self):
+        for path in EXAMPLES_DIR.glob("*.py"):
+            module = load_example(path.name)
+            assert hasattr(module, "main"), f"{path.name} has no main()"
+            assert callable(module.main)

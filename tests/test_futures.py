@@ -1,0 +1,118 @@
+"""Tests for the future LCO (Figure 4's life cycle)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.futures import Future, FutureError, FutureState
+
+
+class TestLifeCycle:
+    def test_starts_null(self):
+        fut = Future()
+        assert fut.is_null
+        assert not fut.is_pending and not fut.is_fulfilled
+        assert fut.peek() is None
+
+    def test_null_to_pending(self):
+        fut = Future()
+        fut.set_pending()
+        assert fut.is_pending
+        assert fut.state is FutureState.PENDING
+
+    def test_pending_to_fulfilled(self):
+        fut = Future()
+        fut.set_pending()
+        released = fut.fulfil("address")
+        assert fut.is_fulfilled
+        assert fut.get() == "address"
+        assert released == []
+
+    def test_cannot_set_pending_twice(self):
+        fut = Future()
+        fut.set_pending()
+        with pytest.raises(FutureError):
+            fut.set_pending()
+
+    def test_cannot_set_pending_after_fulfilment(self):
+        fut = Future()
+        fut.set_pending()
+        fut.fulfil(1)
+        with pytest.raises(FutureError):
+            fut.set_pending()
+
+    def test_cannot_fulfil_twice(self):
+        fut = Future()
+        fut.set_pending()
+        fut.fulfil(1)
+        with pytest.raises(FutureError):
+            fut.fulfil(2)
+
+    def test_get_before_fulfilment_raises(self):
+        fut = Future()
+        with pytest.raises(FutureError):
+            fut.get()
+        fut.set_pending()
+        with pytest.raises(FutureError):
+            fut.get()
+
+    def test_fulfil_directly_from_null_is_allowed(self):
+        """Fulfilling a never-pending future is legal (local immediate value)."""
+        fut = Future()
+        released = fut.fulfil(5)
+        assert released == [] and fut.get() == 5
+
+
+class TestDependentQueue:
+    def test_enqueue_requires_pending(self):
+        fut = Future()
+        with pytest.raises(FutureError):
+            fut.enqueue(lambda: None)
+
+    def test_enqueue_after_fulfilment_raises(self):
+        fut = Future()
+        fut.set_pending()
+        fut.fulfil(1)
+        with pytest.raises(FutureError):
+            fut.enqueue(lambda: None)
+
+    def test_closures_released_in_fifo_order(self):
+        fut = Future()
+        fut.set_pending()
+        order = []
+        for i in range(5):
+            fut.enqueue(lambda i=i: order.append(i))
+        released = fut.fulfil("value")
+        assert fut.queue_length == 0
+        for closure in released:
+            closure()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_queue_emptied_exactly_once(self):
+        fut = Future()
+        fut.set_pending()
+        fut.enqueue(lambda: None)
+        first = fut.fulfil(0)
+        assert len(first) == 1
+        assert fut.queue_length == 0
+
+    def test_queue_length_reflects_enqueues(self):
+        fut = Future()
+        fut.set_pending()
+        for i in range(3):
+            fut.enqueue(lambda: None)
+            assert fut.queue_length == i + 1
+
+
+@given(st.integers(min_value=0, max_value=50))
+def test_property_every_enqueued_closure_released_exactly_once(n):
+    """Figure 4 invariant: all n dependent tasks run exactly once after fulfilment."""
+    fut = Future()
+    fut.set_pending()
+    counts = [0] * n
+    for i in range(n):
+        fut.enqueue(lambda i=i: counts.__setitem__(i, counts[i] + 1))
+    released = fut.fulfil("addr")
+    assert len(released) == n
+    for closure in released:
+        closure()
+    assert counts == [1] * n

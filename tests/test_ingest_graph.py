@@ -1,0 +1,160 @@
+"""Tests for streaming edge ingestion and the DynamicGraph facade."""
+
+import pytest
+
+from repro.arch.config import ChipConfig
+from repro.graph.graph import DynamicGraph
+from repro.graph.rpvo import Edge
+from repro.runtime.device import AMCCADevice
+
+from conftest import build_bfs_graph, random_edges
+
+
+def make_plain_graph(chip=None, num_vertices=20, **kwargs):
+    chip = chip or ChipConfig.small(edge_list_capacity=4)
+    device = AMCCADevice(chip)
+    graph = DynamicGraph(device, num_vertices, seed=1, **kwargs)
+    return device, graph
+
+
+class TestConstruction:
+    def test_rejects_zero_vertices(self):
+        device = AMCCADevice(ChipConfig.small())
+        with pytest.raises(ValueError):
+            DynamicGraph(device, 0)
+
+    def test_roots_allocated_on_chip(self):
+        device, graph = make_plain_graph(num_vertices=10)
+        for vid in range(10):
+            addr = graph.address_of(vid)
+            block = device.get_object(addr)
+            assert block.vid == vid and block.is_root
+
+    def test_capacity_defaults_from_config(self):
+        chip = ChipConfig.small(edge_list_capacity=7)
+        _, graph = make_plain_graph(chip=chip)
+        assert graph.capacity == 7
+        assert graph.root_block(0).capacity == 7
+
+    def test_string_allocator_resolved(self):
+        _, graph = make_plain_graph(ghost_allocator="random")
+        assert graph.ghost_allocator.name == "random"
+
+
+class TestIngestion:
+    def test_all_edges_stored(self):
+        _, graph = make_plain_graph(num_vertices=30)
+        edges = random_edges(30, 200, seed=2)
+        graph.stream_increment(edges)
+        assert graph.total_edges_stored() == 200
+
+    def test_edge_multiset_preserved(self):
+        """Every streamed (src, dst, weight) is found exactly once on the chip."""
+        _, graph = make_plain_graph(num_vertices=25)
+        edges = random_edges(25, 150, seed=3, weights=True)
+        graph.stream_increment(edges)
+        expected: dict = {}
+        for e in edges:
+            expected[(e.src, e.dst, e.weight)] = expected.get((e.src, e.dst, e.weight), 0) + 1
+        stored: dict = {}
+        for vid in range(25):
+            for dst, w in graph.edges_of(vid):
+                stored[(vid, dst, w)] = stored.get((vid, dst, w), 0) + 1
+        assert stored == expected
+
+    def test_no_block_exceeds_capacity(self):
+        _, graph = make_plain_graph(num_vertices=10)
+        # Hot vertex 0 gets 50 out-edges: must overflow into ghosts.
+        edges = [Edge(0, 1 + (i % 9)) for i in range(50)]
+        graph.stream_increment(edges)
+        for block in graph.blocks_of(0):
+            assert block.degree_local <= block.capacity
+        assert graph.degree(0) == 50
+
+    def test_ghost_chain_grows_for_hot_vertex(self):
+        _, graph = make_plain_graph(num_vertices=10)
+        edges = [Edge(0, 1 + (i % 9)) for i in range(40)]
+        graph.stream_increment(edges)
+        assert graph.ghost_blocks_allocated >= 40 // graph.capacity - 1
+        assert graph.ghost_chain_depth(0) >= 2
+
+    def test_root_mirror_sees_every_insert(self):
+        _, graph = make_plain_graph(num_vertices=10)
+        edges = [Edge(0, 1 + (i % 9)) for i in range(30)]
+        graph.stream_increment(edges)
+        assert len(graph.root_block(0).mirror) == 30
+
+    def test_ingestor_counters(self):
+        _, graph = make_plain_graph(num_vertices=10)
+        edges = [Edge(0, 1 + (i % 9)) for i in range(20)]
+        graph.stream_increment(edges)
+        ing = graph.ingestor
+        assert ing.edges_inserted == 20
+        assert ing.ghosts_allocated >= 1
+        assert ing.future_enqueues >= 1
+
+    def test_stream_multiple_increments_accumulates(self):
+        _, graph = make_plain_graph(num_vertices=30)
+        for k in range(3):
+            graph.stream_increment(random_edges(30, 60, seed=k))
+        assert graph.increments_streamed == 3
+        assert graph.edges_streamed == 180
+        assert graph.total_edges_stored() == 180
+        assert len(graph.per_increment_cycles()) == 3
+
+    def test_stream_helper_runs_all_increments(self):
+        _, graph = make_plain_graph(num_vertices=20)
+        increments = [random_edges(20, 30, seed=k) for k in range(4)]
+        results = graph.stream(increments)
+        assert len(results) == 4
+        assert graph.total_edges_stored() == 120
+
+    def test_random_allocator_also_preserves_edges(self):
+        _, graph = make_plain_graph(num_vertices=10, ghost_allocator="random")
+        edges = [Edge(0, 1 + (i % 9)) for i in range(40)]
+        graph.stream_increment(edges)
+        assert graph.degree(0) == 40
+
+
+class TestReadBack:
+    def test_to_networkx_matches_streamed_edges(self):
+        _, graph = make_plain_graph(num_vertices=15)
+        edges = random_edges(15, 80, seed=5)
+        graph.stream_increment(edges)
+        g = graph.to_networkx()
+        assert g.number_of_nodes() == 15
+        assert g.number_of_edges() == len({(e.src, e.dst) for e in edges})
+
+    def test_to_networkx_undirected(self):
+        _, graph = make_plain_graph(num_vertices=10)
+        graph.stream_increment([Edge(0, 1), Edge(1, 0)])
+        assert graph.to_networkx(directed=False).number_of_edges() == 1
+
+    def test_vertex_state_default(self):
+        _, graph = make_plain_graph()
+        assert graph.vertex_state(0, "level", "missing") == "missing"
+
+    def test_ghost_report_fields(self):
+        _, graph = make_plain_graph(num_vertices=10)
+        graph.stream_increment([Edge(0, 1 + (i % 9)) for i in range(30)])
+        report = graph.ghost_report()
+        assert report["ghost_blocks"] >= 1
+        assert report["allocator"] == "vicinity"
+        assert report["max_depth"] >= 1
+
+
+class TestLatencyFidelity:
+    def test_ingestion_works_in_latency_mode(self):
+        chip = ChipConfig.small(edge_list_capacity=4, fidelity="latency")
+        _, graph = make_plain_graph(chip=chip, num_vertices=20)
+        edges = random_edges(20, 100, seed=7)
+        graph.stream_increment(edges)
+        assert graph.total_edges_stored() == 100
+
+
+class TestIngestOnlyFlag:
+    def test_ingest_only_does_not_run_bfs(self, small_chip):
+        _, graph, bfs = build_bfs_graph(small_chip, 20, root=0, ingest_only=True)
+        graph.stream_increment(random_edges(20, 100, seed=9))
+        # only the seeded root has a level
+        assert bfs.results(graph) == {0: 0}

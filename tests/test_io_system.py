@@ -1,0 +1,94 @@
+"""Tests for the IO channels and IO cells."""
+
+import pytest
+
+from repro.arch.config import ChipConfig
+from repro.arch.io_system import IOSystem, _border_cells
+from repro.arch.message import Message
+
+
+def factory_for(action="insert"):
+    def factory(item, attached_cc):
+        return Message(src=attached_cc, dst=0, action=action, operands=(item,))
+    return factory
+
+
+class TestBorderCells:
+    def test_west_side(self):
+        cfg = ChipConfig(width=4, height=3)
+        cells = _border_cells(cfg, "west")
+        assert cells == [cfg.cc_at(0, y) for y in range(3)]
+
+    def test_east_side(self):
+        cfg = ChipConfig(width=4, height=3)
+        assert _border_cells(cfg, "east") == [cfg.cc_at(3, y) for y in range(3)]
+
+    def test_north_and_south(self):
+        cfg = ChipConfig(width=4, height=3)
+        assert _border_cells(cfg, "north") == [cfg.cc_at(x, 0) for x in range(4)]
+        assert _border_cells(cfg, "south") == [cfg.cc_at(x, 2) for x in range(4)]
+
+    def test_unknown_side_raises(self):
+        with pytest.raises(ValueError):
+            _border_cells(ChipConfig(), "diagonal")
+
+
+class TestIOSystem:
+    def test_io_cell_count_west_east(self):
+        cfg = ChipConfig(width=8, height=8, io_sides=("west", "east"))
+        io = IOSystem(cfg)
+        assert len(io.cells) == 16
+
+    def test_io_cell_count_all_sides_dedups_corners(self):
+        cfg = ChipConfig(width=4, height=4, io_sides=("west", "east", "north", "south"))
+        io = IOSystem(cfg)
+        # 16 border cells total on a 4x4 (12 unique), each gets one IO cell.
+        attached = [c.attached_cc for c in io.cells]
+        assert len(attached) == len(set(attached))
+
+    def test_round_robin_distribution(self):
+        cfg = ChipConfig(width=4, height=4, io_sides=("west",))
+        io = IOSystem(cfg)
+        io.register_transfer(list(range(10)), factory_for())
+        assert [cell.pending for cell in io.cells] == [3, 3, 2, 2]
+
+    def test_one_item_per_cell_per_cycle(self):
+        cfg = ChipConfig(width=4, height=4, io_sides=("west",))
+        io = IOSystem(cfg)
+        io.register_transfer(list(range(10)), factory_for())
+        first = io.step(cycle=0)
+        assert len(first) == 4  # four IO cells, one each
+        second = io.step(cycle=1)
+        assert len(second) == 4
+        third = io.step(cycle=2)
+        assert len(third) == 2
+        assert io.drained
+        assert io.step(cycle=3) == []
+
+    def test_messages_carry_items_and_attached_cc(self):
+        cfg = ChipConfig(width=4, height=4, io_sides=("west",))
+        io = IOSystem(cfg)
+        io.register_transfer(["edge-a"], factory_for())
+        msgs = io.step(cycle=0)
+        assert msgs[0].operands == ("edge-a",)
+        assert msgs[0].src == io.cells[0].attached_cc
+
+    def test_multiple_transfers_append(self):
+        cfg = ChipConfig(width=4, height=4, io_sides=("west",))
+        io = IOSystem(cfg)
+        io.register_transfer(list(range(4)), factory_for())
+        io.register_transfer(list(range(4)), factory_for())
+        assert io.pending == 8
+        assert io.total_items == 8
+
+    def test_register_without_io_cells_raises(self):
+        cfg = ChipConfig(width=4, height=4, io_sides=("west",))
+        io = IOSystem(cfg)
+        io.cells = []
+        with pytest.raises(RuntimeError):
+            io.register_transfer([1], factory_for())
+
+    def test_step_before_register_is_noop(self):
+        cfg = ChipConfig(width=4, height=4)
+        io = IOSystem(cfg)
+        assert io.step(cycle=0) == []

@@ -1,0 +1,188 @@
+"""Correctness tests for SSSP, connected components, triangles, Jaccard, PageRank."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import (
+    JaccardCoefficient,
+    PageRankDelta,
+    StreamingConnectedComponents,
+    StreamingSSSP,
+    TriangleCounting,
+)
+from repro.arch.config import ChipConfig
+from repro.baselines.networkx_ref import build_networkx
+from repro.datasets.sbm import symmetrize
+from repro.graph.graph import DynamicGraph
+from repro.graph.rpvo import Edge
+from repro.runtime.device import AMCCADevice
+
+from conftest import random_edges
+
+
+def make_graph(num_vertices, algorithm, capacity=4, chip=None, seed=2):
+    chip = chip or ChipConfig.small(edge_list_capacity=capacity)
+    device = AMCCADevice(chip)
+    graph = DynamicGraph(device, num_vertices, seed=seed)
+    graph.attach(algorithm)
+    return device, graph
+
+
+class TestStreamingSSSP:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_matches_dijkstra(self, seed):
+        num_vertices = 40
+        edges = random_edges(num_vertices, 250, seed=seed, weights=True)
+        sssp = StreamingSSSP(root=0)
+        _, graph = make_graph(num_vertices, sssp, seed=seed)
+        sssp.seed(graph, root=0)
+        graph.stream_increment(edges)
+        expected = sssp.reference(build_networkx(edges, num_vertices), root=0)
+        assert sssp.results(graph) == expected
+
+    def test_incremental_shortcut_lowers_distance(self):
+        sssp = StreamingSSSP(root=0)
+        _, graph = make_graph(6, sssp)
+        sssp.seed(graph, root=0)
+        graph.stream_increment([Edge(0, 1, 5), Edge(1, 2, 5)])
+        assert sssp.results(graph)[2] == 10
+        graph.stream_increment([Edge(0, 2, 3)])
+        assert sssp.results(graph)[2] == 3
+
+    def test_weights_respected_over_hop_count(self):
+        sssp = StreamingSSSP(root=0)
+        _, graph = make_graph(4, sssp)
+        sssp.seed(graph, root=0)
+        # Direct edge is heavy, two-hop path is lighter.
+        graph.stream_increment([Edge(0, 3, 10), Edge(0, 1, 2), Edge(1, 3, 2)])
+        assert sssp.results(graph)[3] == 4
+
+    def test_seed_requires_root(self):
+        sssp = StreamingSSSP()
+        _, graph = make_graph(4, sssp)
+        with pytest.raises(ValueError):
+            sssp.seed(graph)
+
+
+class TestStreamingConnectedComponents:
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_matches_networkx_on_symmetrized_graph(self, seed):
+        num_vertices = 40
+        edges = symmetrize(random_edges(num_vertices, 80, seed=seed))
+        cc = StreamingConnectedComponents()
+        _, graph = make_graph(num_vertices, cc, seed=seed)
+        graph.stream_increment(edges)
+        expected = cc.reference(build_networkx(edges, num_vertices))
+        assert cc.results(graph) == expected
+
+    def test_isolated_vertices_keep_own_label(self):
+        cc = StreamingConnectedComponents()
+        _, graph = make_graph(5, cc)
+        graph.stream_increment(symmetrize([Edge(0, 1)]))
+        results = cc.results(graph)
+        assert results[0] == results[1] == 0
+        assert results[2] == 2 and results[3] == 3 and results[4] == 4
+
+    def test_components_merge_across_increments(self):
+        cc = StreamingConnectedComponents()
+        _, graph = make_graph(6, cc)
+        graph.stream_increment(symmetrize([Edge(0, 1), Edge(2, 3)]))
+        first = cc.results(graph)
+        assert first[3] == 2 and first[1] == 0
+        graph.stream_increment(symmetrize([Edge(1, 2)]))
+        second = cc.results(graph)
+        assert second[0] == second[1] == second[2] == second[3] == 0
+
+
+class TestTriangleCounting:
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_total_matches_networkx(self, seed):
+        num_vertices = 30
+        edges = symmetrize(random_edges(num_vertices, 120, seed=seed))
+        tc = TriangleCounting()
+        _, graph = make_graph(num_vertices, tc, seed=seed)
+        graph.stream_increment(edges)
+        tc.run(graph)
+        expected = tc.reference(build_networkx(edges, num_vertices))
+        assert tc.results(graph)["total"] == expected["total"]
+
+    def test_known_triangle(self):
+        tc = TriangleCounting()
+        _, graph = make_graph(4, tc)
+        graph.stream_increment(symmetrize([Edge(0, 1), Edge(1, 2), Edge(0, 2)]))
+        tc.run(graph)
+        assert tc.results(graph)["total"] == 1
+
+    def test_no_triangles_in_a_star(self):
+        tc = TriangleCounting()
+        _, graph = make_graph(6, tc)
+        graph.stream_increment(symmetrize([Edge(0, v) for v in range(1, 6)]))
+        tc.run(graph)
+        assert tc.results(graph)["total"] == 0
+
+
+class TestJaccard:
+    def test_matches_networkx(self):
+        num_vertices = 25
+        edges = symmetrize(random_edges(num_vertices, 90, seed=7))
+        jc = JaccardCoefficient()
+        _, graph = make_graph(num_vertices, jc, seed=7)
+        graph.stream_increment(edges)
+        jc.run(graph)
+        got = jc.results(graph)
+        expected = jc.reference(build_networkx(edges, num_vertices))
+        assert set(got) == set(expected)
+        for key, value in expected.items():
+            assert got[key] == pytest.approx(value)
+
+    def test_known_values(self):
+        jc = JaccardCoefficient()
+        _, graph = make_graph(4, jc)
+        # Path 0-1-2: N(0)={1}, N(2)={1} share everything except each other.
+        graph.stream_increment(symmetrize([Edge(0, 1), Edge(1, 2)]))
+        jc.run(graph)
+        got = jc.results(graph)
+        assert got[(0, 1)] == pytest.approx(0.0)  # N(0)={1}, N(1)={0,2}: disjoint
+        assert (1, 2) in got
+
+
+class TestPageRankDelta:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PageRankDelta(damping=1.5)
+        with pytest.raises(ValueError):
+            PageRankDelta(epsilon=0)
+
+    def test_ranks_sum_to_one(self):
+        num_vertices = 30
+        edges = symmetrize(random_edges(num_vertices, 120, seed=8))
+        pr = PageRankDelta(epsilon=1e-4)
+        _, graph = make_graph(num_vertices, pr, seed=8)
+        graph.stream_increment(edges)
+        pr.run(graph)
+        ranks = pr.results(graph)
+        assert sum(ranks.values()) == pytest.approx(1.0)
+        assert all(r >= 0 for r in ranks.values())
+
+    def test_rank_ordering_tracks_networkx(self):
+        """The highest-ranked vertices should broadly agree with NetworkX."""
+        num_vertices = 40
+        edges = symmetrize(random_edges(num_vertices, 200, seed=9))
+        pr = PageRankDelta(epsilon=1e-5)
+        _, graph = make_graph(num_vertices, pr, seed=9)
+        graph.stream_increment(edges)
+        pr.run(graph)
+        ours = pr.results(graph)
+        reference = pr.reference(build_networkx(edges, num_vertices))
+        top_ours = set(sorted(ours, key=ours.get, reverse=True)[:5])
+        top_ref = set(sorted(reference, key=reference.get, reverse=True)[:5])
+        assert len(top_ours & top_ref) >= 3
+
+    def test_hub_outranks_leaf(self):
+        pr = PageRankDelta(epsilon=1e-5)
+        _, graph = make_graph(6, pr)
+        # Every vertex points at vertex 0.
+        graph.stream_increment([Edge(v, 0) for v in range(1, 6)])
+        pr.run(graph)
+        ranks = pr.results(graph)
+        assert ranks[0] == max(ranks.values())

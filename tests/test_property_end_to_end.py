@@ -1,0 +1,83 @@
+"""Property-based end-to-end tests over randomly generated streams.
+
+Hypothesis drives small random edge streams through the whole stack (IO
+cells -> NoC -> insert-edge-action -> RPVO -> BFS diffusion) and checks the
+two invariants that matter most:
+
+* the multiset of edges read back from the chip equals the multiset streamed
+  in, regardless of ordering, ghost overflow or allocator choice;
+* converged BFS levels equal NetworkX shortest-path lengths on the same edge
+  set, for any stream order and any increment split.
+"""
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.arch.config import ChipConfig
+from repro.algorithms.bfs import StreamingBFS
+from repro.baselines.networkx_ref import build_networkx
+from repro.graph.graph import DynamicGraph
+from repro.graph.rpvo import Edge
+from repro.runtime.device import AMCCADevice
+
+NUM_VERTICES = 24
+
+edge_strategy = st.tuples(
+    st.integers(min_value=0, max_value=NUM_VERTICES - 1),
+    st.integers(min_value=0, max_value=NUM_VERTICES - 1),
+).filter(lambda p: p[0] != p[1])
+
+stream_strategy = st.lists(edge_strategy, min_size=0, max_size=120)
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def build(capacity: int, allocator: str):
+    chip = ChipConfig(width=4, height=4, edge_list_capacity=capacity)
+    device = AMCCADevice(chip)
+    graph = DynamicGraph(device, NUM_VERTICES, seed=1, ghost_allocator=allocator)
+    bfs = StreamingBFS(root=0)
+    graph.attach(bfs)
+    bfs.seed(graph, root=0)
+    return graph, bfs
+
+
+@SLOW
+@given(pairs=stream_strategy, capacity=st.integers(min_value=1, max_value=6),
+       allocator=st.sampled_from(["vicinity", "random"]))
+def test_property_edge_multiset_preserved(pairs, capacity, allocator):
+    graph, _ = build(capacity, allocator)
+    edges = [Edge(u, v) for u, v in pairs]
+    if edges:
+        graph.stream_increment(edges)
+    expected: dict = {}
+    for u, v in pairs:
+        expected[(u, v)] = expected.get((u, v), 0) + 1
+    stored: dict = {}
+    for vid in range(NUM_VERTICES):
+        for dst, _w in graph.edges_of(vid):
+            stored[(vid, dst)] = stored.get((vid, dst), 0) + 1
+    assert stored == expected
+    # No block ever exceeds its capacity.
+    for vid in range(NUM_VERTICES):
+        for block in graph.blocks_of(vid):
+            assert block.degree_local <= block.capacity
+
+
+@SLOW
+@given(pairs=stream_strategy, splits=st.integers(min_value=1, max_value=4),
+       capacity=st.integers(min_value=2, max_value=8))
+def test_property_bfs_matches_networkx_for_any_increment_split(pairs, splits, capacity):
+    graph, bfs = build(capacity, "vicinity")
+    edges = [Edge(u, v) for u, v in pairs]
+    chunk = max(1, len(edges) // splits)
+    for start in range(0, len(edges), chunk):
+        graph.stream_increment(edges[start:start + chunk])
+    expected = {}
+    g = build_networkx(edges, NUM_VERTICES)
+    expected = dict(nx.single_source_shortest_path_length(g, 0))
+    assert bfs.results(graph) == expected

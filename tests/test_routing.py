@@ -1,0 +1,127 @@
+"""Tests for the turn-restricted dimension-ordered routing policies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.config import ChipConfig
+from repro.arch.routing import XYRouting, YXRouting, make_routing, turns_of
+
+
+@pytest.fixture
+def config():
+    return ChipConfig(width=8, height=8)
+
+
+class TestYXRouting:
+    def test_route_reaches_destination(self, config):
+        routing = YXRouting(config)
+        src, dst = config.cc_at(1, 1), config.cc_at(6, 5)
+        route = routing.route(src, dst)
+        assert route[-1] == dst
+
+    def test_route_is_minimal(self, config):
+        routing = YXRouting(config)
+        for src in range(0, config.num_cells, 7):
+            for dst in range(0, config.num_cells, 5):
+                assert len(routing.route(src, dst)) == config.manhattan(src, dst)
+
+    def test_vertical_first(self, config):
+        routing = YXRouting(config)
+        src, dst = config.cc_at(0, 0), config.cc_at(3, 3)
+        first_hop = routing.next_hop(src, dst)
+        x, y = config.coords_of(first_hop)
+        assert (x, y) == (0, 1), "YX routing must move vertically first"
+
+    def test_single_turn_only(self, config):
+        """YX routes turn at most once: vertical movement then horizontal."""
+        routing = YXRouting(config)
+        for src in range(config.num_cells):
+            for dst in (0, 27, 63):
+                route = routing.route(src, dst)
+                turns = turns_of(config, route, src)
+                assert len(turns) <= 1
+                for incoming, outgoing in turns:
+                    assert incoming[0] == 0, "turn must come out of a vertical move"
+                    assert outgoing[1] == 0, "turn must enter a horizontal move"
+
+    def test_same_cell_route_is_empty(self, config):
+        routing = YXRouting(config)
+        assert routing.route(5, 5) == []
+        assert routing.next_hop(5, 5) == 5
+
+
+class TestXYRouting:
+    def test_horizontal_first(self, config):
+        routing = XYRouting(config)
+        src, dst = config.cc_at(0, 0), config.cc_at(3, 3)
+        first_hop = routing.next_hop(src, dst)
+        assert config.coords_of(first_hop) == (1, 0)
+
+    def test_route_is_minimal(self, config):
+        routing = XYRouting(config)
+        for src in (0, 9, 33, 63):
+            for dst in (0, 12, 40, 63):
+                assert len(routing.route(src, dst)) == config.manhattan(src, dst)
+
+    def test_single_turn_only(self, config):
+        routing = XYRouting(config)
+        for src in (0, 17, 45):
+            for dst in range(config.num_cells):
+                turns = turns_of(config, routing.route(src, dst), src)
+                assert len(turns) <= 1
+                for incoming, outgoing in turns:
+                    assert incoming[1] == 0 and outgoing[0] == 0
+
+
+class TestFactory:
+    def test_make_routing_yx(self):
+        cfg = ChipConfig(routing="yx")
+        assert isinstance(make_routing(cfg), YXRouting)
+
+    def test_make_routing_xy(self):
+        cfg = ChipConfig(routing="xy")
+        assert isinstance(make_routing(cfg), XYRouting)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    w=st.integers(min_value=2, max_value=16),
+    h=st.integers(min_value=2, max_value=16),
+    data=st.data(),
+)
+def test_property_routes_are_minimal_and_terminate(w, h, data):
+    """For any mesh and any (src, dst), both policies produce a minimal route."""
+    cfg = ChipConfig(width=w, height=h)
+    src = data.draw(st.integers(min_value=0, max_value=cfg.num_cells - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=cfg.num_cells - 1))
+    for policy in (YXRouting(cfg), XYRouting(cfg)):
+        route = policy.route(src, dst)
+        assert len(route) == cfg.manhattan(src, dst)
+        if route:
+            assert route[-1] == dst
+        # every hop moves to an adjacent cell
+        prev = src
+        for cell in route:
+            assert cfg.manhattan(prev, cell) == 1
+            prev = cell
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    src=st.integers(min_value=0, max_value=63),
+    dst=st.integers(min_value=0, max_value=63),
+)
+def test_property_yx_never_turns_back_into_vertical(src, dst):
+    cfg = ChipConfig(width=8, height=8)
+    routing = YXRouting(cfg)
+    route = routing.route(src, dst)
+    seen_horizontal = False
+    prev = src
+    for cell in route:
+        px, py = cfg.coords_of(prev)
+        cx, cy = cfg.coords_of(cell)
+        if cx != px:
+            seen_horizontal = True
+        if cy != py:
+            assert not seen_horizontal, "vertical move after a horizontal one"
+        prev = cell

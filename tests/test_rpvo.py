@@ -1,0 +1,100 @@
+"""Tests for the RPVO vertex block data structure."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.address import Address, NULL_ADDRESS
+from repro.graph.rpvo import Edge, EdgeSlot, INFINITY, VertexBlock
+
+
+def slot(dst=1, vid=1, w=1):
+    return EdgeSlot(dst_addr=Address(0, dst), dst_vid=vid, weight=w)
+
+
+class TestEdge:
+    def test_reversed(self):
+        e = Edge(3, 7, weight=2)
+        r = e.reversed()
+        assert (r.src, r.dst, r.weight) == (7, 3, 2)
+
+    def test_edges_are_hashable_and_frozen(self):
+        assert len({Edge(0, 1), Edge(0, 1), Edge(1, 0)}) == 2
+        with pytest.raises(Exception):
+            Edge(0, 1).src = 5  # type: ignore[misc]
+
+
+class TestAddress:
+    def test_null_address(self):
+        assert NULL_ADDRESS.is_null
+        assert not Address(0, 0).is_null
+
+    def test_ordering_and_hash(self):
+        assert Address(0, 1) < Address(1, 0)
+        assert len({Address(0, 1), Address(0, 1)}) == 1
+
+
+class TestVertexBlock:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VertexBlock(0, capacity=0)
+        with pytest.raises(ValueError):
+            VertexBlock(0, capacity=2, ghost_slots=0)
+
+    def test_has_room_until_capacity(self):
+        block = VertexBlock(0, capacity=3)
+        for i in range(3):
+            assert block.has_room
+            block.append_edge(slot(i, i))
+        assert not block.has_room
+
+    def test_append_beyond_capacity_raises(self):
+        block = VertexBlock(0, capacity=1)
+        block.append_edge(slot())
+        with pytest.raises(OverflowError):
+            block.append_edge(slot())
+
+    def test_ghost_futures_start_null(self):
+        block = VertexBlock(0, capacity=2, ghost_slots=3)
+        assert len(block.ghosts) == 3
+        assert all(f.is_null for f in block.ghosts)
+        assert block.resolved_ghosts() == []
+
+    def test_ghost_slot_for_is_deterministic_and_in_range(self):
+        block = VertexBlock(0, capacity=2, ghost_slots=3)
+        for vid in range(20):
+            idx = block.ghost_slot_for(vid)
+            assert 0 <= idx < 3
+            assert idx == block.ghost_slot_for(vid)
+
+    def test_state_snapshot_is_copied(self):
+        state = {"level": 5}
+        block = VertexBlock(0, capacity=2, state=state)
+        state["level"] = 9
+        assert block.get_state("level") == 5
+
+    def test_state_helpers(self):
+        block = VertexBlock(0, capacity=2)
+        assert block.get_state("level", INFINITY) == INFINITY
+        block.set_state("level", 3)
+        assert block.get_state("level") == 3
+
+    def test_words_scale_with_capacity(self):
+        small = VertexBlock(0, capacity=4)
+        big = VertexBlock(0, capacity=64)
+        assert big.words() > small.words()
+
+    def test_root_vs_ghost_flags(self):
+        root = VertexBlock(1, capacity=2, is_root=True)
+        ghost = VertexBlock(1, capacity=2, is_root=False, depth=2)
+        assert root.is_root and root.depth == 0
+        assert not ghost.is_root and ghost.depth == 2
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=0, max_value=64))
+    def test_property_local_degree_never_exceeds_capacity(self, capacity, attempts):
+        block = VertexBlock(0, capacity=capacity)
+        inserted = 0
+        for i in range(attempts):
+            if block.has_room:
+                block.append_edge(slot(i, i))
+                inserted += 1
+        assert block.degree_local == min(capacity, attempts) == inserted

@@ -1,0 +1,131 @@
+"""Tests for the action registry, action context and cost accounting."""
+
+import pytest
+
+from repro.arch.address import Address
+from repro.arch.config import ChipConfig
+from repro.runtime.actions import ActionContext, ActionRegistry, action_cost
+from repro.runtime.device import AMCCADevice
+
+
+@pytest.fixture
+def device():
+    return AMCCADevice(ChipConfig(width=4, height=4))
+
+
+def make_ctx(device, cc_id=0):
+    return ActionContext(device, device.simulator.cell(cc_id))
+
+
+class TestActionRegistry:
+    def test_register_and_get(self):
+        reg = ActionRegistry()
+        handler = lambda ctx, obj: None
+        reg.register("x", handler, size_words=5)
+        assert reg.get("x") is handler
+        assert reg.size_words("x") == 5
+        assert "x" in reg
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ActionRegistry().get("nope")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ActionRegistry().register("", lambda: None)
+
+    def test_reregistration_overwrites(self):
+        reg = ActionRegistry()
+        reg.register("x", lambda: 1)
+        new = lambda: 2
+        reg.register("x", new)
+        assert reg.get("x") is new
+
+    def test_names_sorted(self):
+        reg = ActionRegistry()
+        reg.register("b", lambda: None)
+        reg.register("a", lambda: None)
+        assert reg.names() == ["a", "b"]
+
+    def test_default_size_words(self):
+        reg = ActionRegistry()
+        reg.register("x", lambda: None)
+        assert reg.size_words("x") == 2
+
+
+class TestActionCost:
+    def test_known_kinds(self):
+        assert action_cost("insert") == 2
+        assert action_cost("edge_scan", 5) == 5
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            action_cost("teleport")
+
+    def test_minimum_units(self):
+        assert action_cost("compare", 0) == 1
+
+
+class TestActionContext:
+    def test_charge_accumulates(self, device):
+        ctx = make_ctx(device)
+        ctx.charge(3)
+        ctx.charge(2)
+        cost, msgs = ctx.finish()
+        assert cost == 1 + 5
+        assert msgs == []
+
+    def test_negative_charge_ignored(self, device):
+        ctx = make_ctx(device)
+        ctx.charge(-10)
+        cost, _ = ctx.finish()
+        assert cost == 1
+
+    def test_propagate_builds_message(self, device):
+        device.register_action("target-action", lambda ctx, obj: None, size_words=6)
+        ctx = make_ctx(device, cc_id=2)
+        target = Address(9, 0)
+        msg = ctx.propagate("target-action", target, 1, 2)
+        assert msg.src == 2 and msg.dst == 9
+        assert msg.operands == (1, 2)
+        assert msg.size_words == 6
+        cost, msgs = ctx.finish()
+        assert msgs == [msg]
+
+    def test_propagate_unregistered_raises(self, device):
+        ctx = make_ctx(device)
+        with pytest.raises(KeyError):
+            ctx.propagate("ghost-action", Address(0, 0))
+
+    def test_propagate_size_words_override(self, device):
+        device.register_action("a", lambda ctx, obj: None, size_words=2)
+        ctx = make_ctx(device)
+        msg = ctx.propagate("a", Address(1, 0), size_words=12)
+        assert msg.size_words == 12
+
+    def test_allocate_local_charges_and_stores(self, device):
+        ctx = make_ctx(device, cc_id=1)
+        addr = ctx.allocate_local({"v": 1}, words=3)
+        assert addr.cc_id == 1
+        assert device.simulator.cell(1).get(addr) == {"v": 1}
+        cost, _ = ctx.finish()
+        assert cost > 1  # allocation charged extra instructions
+
+    def test_local_dereference(self, device):
+        ctx = make_ctx(device, cc_id=0)
+        addr = device.simulator.cell(0).allocate("payload")
+        assert ctx.local(addr) == "payload"
+
+    def test_schedule_local_enqueues_task(self, device):
+        ctx = make_ctx(device, cc_id=3)
+        ran = []
+        ctx.schedule_local(lambda c: ran.append(c.cc_id), label="cb")
+        ctx.finish()
+        device.simulator.run(max_cycles=10)
+        assert ran == [3]
+
+    def test_cc_id_and_cycle_properties(self, device):
+        ctx = make_ctx(device, cc_id=5)
+        assert ctx.cc_id == 5
+        assert ctx.cycle == device.simulator.cycle
+        assert ctx.config is device.config
