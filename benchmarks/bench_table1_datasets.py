@@ -1,27 +1,37 @@
 """E1 -- Table 1: edges per streaming increment for the four dataset configs.
 
-Regenerates the paper's Table 1: for 50 K-class and 500 K-class graphs under
-edge and snowball sampling, the number of edges delivered by each of the ten
-streaming increments and the final edge count.  The benchmark times dataset
-generation + sampling; the printed table is the reproduced artefact.
+Regenerates the paper's Table 1 as a thin wrapper over the experiment
+harness: the dataset configurations come from the harness's paper suite
+(:func:`repro.harness.build_paper_suite` at the benchmark scale factor) and
+are materialised through :func:`repro.harness.materialize_dataset`, so this
+benchmark exercises exactly the specs ``repro suite run`` executes.  The
+benchmark times dataset generation + sampling; the printed table is the
+reproduced artefact.
 """
 
-from conftest import BENCH_SEED, BENCH_SCALE, dataset_50k, dataset_500k
+from conftest import BENCH_SEED, BENCH_SCALE, SCALE_FACTOR
 
 from repro.analysis.tables import render_table, table1_rows
+from repro.harness import build_paper_suite, materialize_dataset
+
+
+def _dataset_specs():
+    """The four distinct dataset specs of the paper suite, in Table 1 order."""
+    specs, seen = [], set()
+    for scenario in build_paper_suite(SCALE_FACTOR, benchmark_floors=True):
+        if scenario.dataset not in seen:
+            seen.add(scenario.dataset)
+            specs.append(scenario.dataset)
+    return specs
 
 
 def _generate_all():
-    return [
-        dataset_50k("edge"),
-        dataset_50k("snowball"),
-        dataset_500k("edge"),
-        dataset_500k("snowball"),
-    ]
+    return [materialize_dataset(spec) for spec in _dataset_specs()]
 
 
 def test_table1_dataset_increments(benchmark):
     datasets = benchmark.pedantic(_generate_all, rounds=1, iterations=1)
+    assert len(datasets) == 4
     rows = table1_rows(datasets)
     print(f"\nTable 1 (scale={BENCH_SCALE}, seed={BENCH_SEED}):")
     print(render_table(rows))

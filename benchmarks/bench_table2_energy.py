@@ -1,50 +1,54 @@
 """E2 -- Table 2: energy and time for ingestion and ingestion+BFS.
 
-Regenerates the paper's Table 2 on the 32x32, 1 GHz chip: for each of the
-four dataset configurations, the estimated energy (microjoules) and execution
-time (microseconds) of streaming ingestion alone and of ingestion with the
-streaming dynamic BFS enabled.
+Regenerates the paper's Table 2 as a thin wrapper over the experiment
+harness: the ingestion / ingestion+BFS pairs are the ``ingest`` and ``bfs``
+scenarios of the harness's paper suite at the benchmark scale factor, run
+through :func:`repro.harness.run_suite` and folded into rows by the
+harness reporting layer — the same records ``repro suite run`` caches.
 """
 
 import pytest
 
-from conftest import BENCH_SCALE, CHIP_50K, CHIP_500K, dataset_50k, dataset_500k
+from conftest import BENCH_SCALE, SCALE_FACTOR
 
-from repro.analysis.experiments import run_ingestion_bfs_pair
-from repro.analysis.tables import render_table, table2_rows
+from repro.analysis.tables import render_table
+from repro.harness import build_paper_suite, run_suite, table2_rows_from_records
 
 
-@pytest.mark.parametrize("sampling", ["edge", "snowball"])
-def test_table2_50k_class(benchmark, sampling):
-    dataset = dataset_50k(sampling)
-    pair = benchmark.pedantic(
-        lambda: run_ingestion_bfs_pair(dataset, chip=CHIP_50K), rounds=1, iterations=1
+def _class_scenarios(klass):
+    """The 4 scenarios (edge/snowball x ingest/bfs) of one dataset class."""
+    return [
+        s for s in build_paper_suite(SCALE_FACTOR, benchmark_floors=True)
+        if s.name.startswith(klass)
+    ]
+
+
+@pytest.mark.parametrize("klass", ["graphchallenge-50k", "graphchallenge-500k"])
+def test_table2_rows(benchmark, klass):
+    scenarios = _class_scenarios(klass)
+    assert len(scenarios) == 4
+    report = benchmark.pedantic(
+        lambda: run_suite(scenarios), rounds=1, iterations=1
     )
-    print(f"\nTable 2 row (50K-class, {sampling}, scale={BENCH_SCALE}):")
-    print(render_table(table2_rows({dataset.name: pair})))
-    _assert_row_shape(pair)
+    rows = table2_rows_from_records(report.records)
+    print(f"\nTable 2 rows ({klass}, scale={BENCH_SCALE}):")
+    print(render_table(rows, max_width=36))
+    assert len(rows) == 2  # one per sampling order
+
+    by_name = {r["name"]: r for r in report.records}
+    for sampling in ("edge", "snowball"):
+        ingest = by_name[f"{klass}-{sampling}-ingest"]
+        bfs = by_name[f"{klass}-{sampling}-bfs"]
+        _assert_row_shape(ingest, bfs)
 
 
-@pytest.mark.parametrize("sampling", ["edge", "snowball"])
-def test_table2_500k_class(benchmark, sampling):
-    dataset = dataset_500k(sampling)
-    pair = benchmark.pedantic(
-        lambda: run_ingestion_bfs_pair(dataset, chip=CHIP_500K), rounds=1, iterations=1
-    )
-    print(f"\nTable 2 row (500K-class, {sampling}, scale={BENCH_SCALE}):")
-    print(render_table(table2_rows({dataset.name: pair})))
-    _assert_row_shape(pair)
-
-
-def _assert_row_shape(pair):
+def _assert_row_shape(ingest, bfs):
     """The relationships the published Table 2 exhibits."""
-    ingestion = pair["ingestion"]
-    with_bfs = pair["ingestion_bfs"]
     # Ingestion+BFS always costs more energy (it is strictly more work).  Its
     # wall-clock can occasionally dip slightly below ingestion-only at small
     # scales because the extra in-flight BFS messages shift when ghost
     # allocations happen, so the time check allows a small band.
-    assert with_bfs.energy.total_uj > ingestion.energy.total_uj
-    assert with_bfs.energy.time_us >= 0.85 * ingestion.energy.time_us
+    assert bfs["energy"]["total_uj"] > ingest["energy"]["total_uj"]
+    assert bfs["energy"]["time_us"] >= 0.85 * ingest["energy"]["time_us"]
     # All edges must have been stored in both runs.
-    assert ingestion.edges_stored == with_bfs.edges_stored
+    assert ingest["edges_stored"] == bfs["edges_stored"]

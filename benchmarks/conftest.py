@@ -17,6 +17,7 @@ import pytest
 
 from repro.arch.config import ChipConfig
 from repro.datasets.streaming import SCALE_PRESETS, make_streaming_dataset
+from repro.harness.registry import BENCH_AVG_DEGREE, BENCH_MIN_VERTICES
 
 #: Benchmark scale preset, overridable from the environment.
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
@@ -42,11 +43,13 @@ CHIP_500K = PAPER_CHIP
 #: Seed shared by every benchmark so results are directly comparable.
 BENCH_SEED = 7
 
-#: Minimum benchmark graph sizes (vertices).  The GraphChallenge graphs have
-#: an average out-degree of ~20, which is preserved at every scale.
-MIN_VERTICES_50K = 1_600
-MIN_VERTICES_500K = 3_200
-AVG_DEGREE = 20
+#: Minimum benchmark graph sizes (vertices) and preserved average
+#: out-degree, shared with the harness's paper suite (single source of
+#: truth: :mod:`repro.harness.registry`) so ported and un-ported benchmarks
+#: always measure the same workloads.
+MIN_VERTICES_50K = BENCH_MIN_VERTICES["graphchallenge-50k"]
+MIN_VERTICES_500K = BENCH_MIN_VERTICES["graphchallenge-500k"]
+AVG_DEGREE = BENCH_AVG_DEGREE
 
 
 def scaled(value: int, minimum: int = 64) -> int:

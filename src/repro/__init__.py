@@ -39,7 +39,7 @@ from repro.algorithms import (
 )
 from repro.datasets import make_streaming_dataset, paper_dataset_configs
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ChipConfig",

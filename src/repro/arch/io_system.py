@@ -86,6 +86,9 @@ class IOSystem:
         self._factory: Optional[MessageFactory] = None
         self.total_items = 0
         self.total_injected = 0
+        # Incrementally maintained so the simulator's per-cycle quiescence
+        # check does not re-sum every IO cell's queue length.
+        self._pending = 0
 
     # ------------------------------------------------------------------
     def register_transfer(self, items: Sequence[object] | Iterable[object],
@@ -105,25 +108,29 @@ class IOSystem:
             self.cells[i % ncells].push(item)
             count += 1
         self.total_items += count
+        self._pending += count
         return count
 
     @property
     def pending(self) -> int:
         """Number of items still waiting to be injected."""
-        return sum(cell.pending for cell in self.cells)
+        return self._pending
 
     @property
     def drained(self) -> bool:
-        return self.pending == 0
+        return self._pending == 0
 
     def step(self, cycle: int) -> List[Message]:
         """Advance every IO cell by one cycle; return the created messages."""
-        if self._factory is None or self.pending == 0:
+        if self._factory is None or self._pending == 0:
             return []
         out: List[Message] = []
         factory = self._factory
         for cell in self.cells:
+            if not cell.queue:
+                continue
             msg = cell.step(factory, cycle)
+            self._pending -= 1
             if msg is not None:
                 out.append(msg)
         self.total_injected += len(out)

@@ -37,6 +37,13 @@ class RoutingPolicy:
 
     def __init__(self, config: ChipConfig) -> None:
         self.config = config
+        # next_hop runs once per flit-hop per cycle — the hottest call in the
+        # simulator — so cell coordinates are precomputed once instead of
+        # re-deriving (and re-validating) them through config.coords_of.
+        self._coords: List[Tuple[int, int]] = [
+            config.coords_of(cc) for cc in range(config.num_cells)
+        ]
+        self._width = config.width
 
     def next_hop(self, current: int, dst: int) -> int:
         """Return the next compute cell on the route from ``current`` to ``dst``."""
@@ -74,15 +81,13 @@ class YXRouting(RoutingPolicy):
     name = "yx"
 
     def next_hop(self, current: int, dst: int) -> int:
-        cfg = self.config
-        cx, cy = cfg.coords_of(current)
-        dx, dy = cfg.coords_of(dst)
+        coords = self._coords
+        cx, cy = coords[current]
+        dx, dy = coords[dst]
         if cy != dy:
-            step = 1 if dy > cy else -1
-            return cfg.cc_at(cx, cy + step)
+            return current + self._width if dy > cy else current - self._width
         if cx != dx:
-            step = 1 if dx > cx else -1
-            return cfg.cc_at(cx + step, cy)
+            return current + 1 if dx > cx else current - 1
         return current
 
 
@@ -92,15 +97,13 @@ class XYRouting(RoutingPolicy):
     name = "xy"
 
     def next_hop(self, current: int, dst: int) -> int:
-        cfg = self.config
-        cx, cy = cfg.coords_of(current)
-        dx, dy = cfg.coords_of(dst)
+        coords = self._coords
+        cx, cy = coords[current]
+        dx, dy = coords[dst]
         if cx != dx:
-            step = 1 if dx > cx else -1
-            return cfg.cc_at(cx + step, cy)
+            return current + 1 if dx > cx else current - 1
         if cy != dy:
-            step = 1 if dy > cy else -1
-            return cfg.cc_at(cx, cy + step)
+            return current + self._width if dy > cy else current - self._width
         return current
 
 

@@ -68,6 +68,15 @@ class Simulator:
         self.cycle = 0
         #: cells that may have work; maintained incrementally for speed.
         self._active_cells: Set[int] = set()
+        #: scratch buffers reused across step() calls so the hot loop does
+        #: not allocate a fresh set and list every simulated cycle.  The
+        #: still-active set is rebuilt by insertion in iteration order (and
+        #: ping-pong swapped with the live set) rather than pruned in place:
+        #: in-place pruning preserves the stale hash-table layout and drifts
+        #: the set's iteration order — and with it the whole message
+        #: schedule — away from the reference behaviour.
+        self._cells_active_this_cycle: List[int] = []
+        self._still_active_scratch: Set[int] = set()
         #: hooks run at the end of every cycle (used by terminators/monitors).
         self._cycle_hooks: List[Callable[[int], None]] = []
 
@@ -107,13 +116,19 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def is_quiescent(self) -> bool:
-        """True when no work remains anywhere on the chip."""
+        """True when no work remains anywhere on the chip.
+
+        ``step`` prunes work-less cells from the active set every cycle, so
+        the cell scan here is over (at most) the cells that still had work
+        at the end of the last cycle, not every cell ever woken.
+        """
         if not self.io.drained:
             return False
         if not self.noc.is_empty:
             return False
+        cells = self.cells
         for cc_id in self._active_cells:
-            if self.cells[cc_id].has_work:
+            if cells[cc_id].has_work:
                 return False
         return True
 
@@ -144,11 +159,16 @@ class Simulator:
             cell.enqueue_task(dispatcher(cell, msg))
             self._active_cells.add(msg.dst)
 
-        # 4. Every cell with work performs one operation.
-        active_this_cycle: List[int] = []
-        still_active: Set[int] = set()
+        # 4. Every cell with work performs one operation.  The scratch
+        # buffers are reused so steady-state cycles allocate no fresh
+        # containers here.
+        active_this_cycle = self._cells_active_this_cycle
+        active_this_cycle.clear()
+        still_active = self._still_active_scratch
+        still_active.clear()
+        cells = self.cells
         for cc_id in self._active_cells:
-            cell = self.cells[cc_id]
+            cell = cells[cc_id]
             op = cell.step()
             if op is not None:
                 active_this_cycle.append(cc_id)
@@ -159,7 +179,9 @@ class Simulator:
                     self.noc.inject(staged, cycle)
             if cell.has_work:
                 still_active.add(cc_id)
-        self._active_cells = still_active
+        self._active_cells, self._still_active_scratch = (
+            still_active, self._active_cells,
+        )
 
         # 5. Record statistics and traces; run hooks.
         self.stats.record_cycle(

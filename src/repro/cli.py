@@ -17,11 +17,18 @@ Reproduce Figure 8/9 (cycles per increment) for snowball sampling::
 Reproduce Figure 6/7 (cell activation) and print an ASCII plot::
 
     repro activation --vertices 800 --edges 8000 --with-bfs
+
+Run a whole scenario suite in parallel with cached results::
+
+    repro suite run --preset paper-tiny -j 4
+    repro suite list
+    repro suite show --preset paper-tiny
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -114,6 +121,82 @@ def cmd_activation(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_suite_list(args: argparse.Namespace) -> int:
+    from repro.harness import get_suite, list_suites
+
+    for suite in list_suites():
+        scenarios = get_suite(suite.name)
+        print(f"{suite.name} ({len(scenarios)} scenarios): {suite.description}")
+        if args.scenarios:
+            for scenario in scenarios:
+                print(f"  - {scenario.describe()}")
+    return 0
+
+
+def cmd_suite_run(args: argparse.Namespace) -> int:
+    from repro.harness import ResultStore, get_suite, render_suite_report, run_suite
+
+    try:
+        scenarios = get_suite(args.preset)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    try:
+        store = None if args.no_store else ResultStore(args.store)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    jobs = 1 if args.serial else args.jobs
+    report = run_suite(
+        scenarios,
+        jobs=jobs,
+        store=store,
+        force=args.force,
+        progress=lambda line: print(line, flush=True),
+    )
+    print(
+        f"\nsuite {args.preset!r}: {len(report.outcomes)} scenarios, "
+        f"{report.cache_hits} cache hits, {report.cache_misses} computed "
+        f"in {report.elapsed_s:.1f}s with {jobs} job(s)"
+    )
+    if store is not None:
+        print(f"result store: {store.path} ({len(store)} records)")
+    print()
+    print(render_suite_report(report.records, tables=args.tables))
+    return 0
+
+
+def cmd_suite_show(args: argparse.Namespace) -> int:
+    from repro.harness import ResultStore, get_suite, render_suite_report
+
+    try:
+        scenarios = get_suite(args.preset)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    try:
+        store = ResultStore(args.store)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    records = []
+    missing = []
+    for scenario in scenarios:
+        record = store.get(scenario.spec_hash())
+        if record is None:
+            missing.append(scenario.name)
+        else:
+            records.append(record)
+    if missing:
+        print(f"{len(missing)} of {len(scenarios)} scenarios not in {store.path}: "
+              + ", ".join(missing))
+        print("run them with: repro suite run --preset " + args.preset)
+    if not records:
+        return 1
+    print(render_suite_report(records, tables=args.tables))
+    return 0
+
+
 def cmd_quickstart(args: argparse.Namespace) -> int:
     chip = ChipConfig.small()
     dataset = make_streaming_dataset(200, 1600, sampling="edge", seed=1)
@@ -157,13 +240,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_quick = sub.add_parser("quickstart", help="run a tiny end-to-end demo")
     p_quick.set_defaults(func=cmd_quickstart)
 
+    p_suite = sub.add_parser(
+        "suite", help="orchestrate scenario suites (parallel runs, cached results)"
+    )
+    suite_sub = p_suite.add_subparsers(dest="suite_command", required=True)
+
+    def _add_report_args(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--store", default="results/suite.jsonl",
+            help="JSONL result store path (default: results/suite.jsonl)",
+        )
+        sp.add_argument(
+            "--tables", nargs="+", choices=("suite", "table1", "table2"),
+            default=None, help="report sections to print (default: all with data)",
+        )
+
+    p_list = suite_sub.add_parser("list", help="list the registered suites")
+    p_list.add_argument("--scenarios", action="store_true",
+                        help="also list every scenario of every suite")
+    p_list.set_defaults(func=cmd_suite_list)
+
+    p_run = suite_sub.add_parser("run", help="run a suite (skipping cached scenarios)")
+    p_run.add_argument("--preset", required=True, help="suite name (see: repro suite list)")
+    p_run.add_argument("-j", "--jobs", type=int, default=1,
+                       help="worker processes (default 1 = serial)")
+    p_run.add_argument("--serial", action="store_true",
+                       help="force serial in-process execution (overrides -j)")
+    p_run.add_argument("--force", action="store_true",
+                       help="re-run scenarios even when cached, replacing records")
+    p_run.add_argument("--no-store", action="store_true",
+                       help="do not read or write the result store")
+    _add_report_args(p_run)
+    p_run.set_defaults(func=cmd_suite_run)
+
+    p_show = suite_sub.add_parser("show", help="report a suite from stored results only")
+    p_show.add_argument("--preset", required=True, help="suite name (see: repro suite list)")
+    _add_report_args(p_show)
+    p_show.set_defaults(func=cmd_suite_show)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pipe (e.g. ``repro suite list | head``) closed early;
+        # exit quietly like standard Unix tools instead of tracebacking.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

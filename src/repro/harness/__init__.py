@@ -1,0 +1,76 @@
+"""Experiment orchestration: declarative scenarios, parallel runs, caching.
+
+The harness is the one place the repository fans experiments out:
+
+* :mod:`repro.harness.scenario` — frozen :class:`Scenario` specs
+  (dataset x chip x algorithm x options) with stable content hashes,
+* :mod:`repro.harness.registry` — named suites covering the paper's
+  evaluation plus chip/sampling/algorithm/fidelity sweeps,
+* :mod:`repro.harness.runner` — serial or ``multiprocessing`` execution
+  with deterministic per-scenario seeding,
+* :mod:`repro.harness.store` — a JSONL result cache keyed by spec hash,
+* :mod:`repro.harness.report` — folds stored records back into the
+  paper's tables and figures.
+
+Typical use (also available as ``repro suite run``)::
+
+    from repro.harness import ResultStore, get_suite, run_suite
+
+    store = ResultStore("results/suite.jsonl")
+    report = run_suite(get_suite("paper-tiny"), jobs=4, store=store)
+    print(f"{report.cache_hits} hits, {report.cache_misses} computed")
+"""
+
+from repro.harness.registry import (
+    SuiteDef,
+    build_paper_suite,
+    get_suite,
+    list_suites,
+    register_suite,
+)
+from repro.harness.report import (
+    increment_figures_from_records,
+    render_suite_report,
+    suite_table_rows,
+    table1_rows_from_records,
+    table2_rows_from_records,
+)
+from repro.harness.runner import (
+    ScenarioOutcome,
+    SuiteReport,
+    materialize_dataset,
+    run_scenario,
+    run_suite,
+)
+from repro.harness.scenario import (
+    ALGORITHMS,
+    ChipSpec,
+    DatasetSpec,
+    RunOptions,
+    Scenario,
+)
+from repro.harness.store import ResultStore
+
+__all__ = [
+    "ALGORITHMS",
+    "ChipSpec",
+    "DatasetSpec",
+    "ResultStore",
+    "RunOptions",
+    "Scenario",
+    "ScenarioOutcome",
+    "SuiteDef",
+    "SuiteReport",
+    "build_paper_suite",
+    "get_suite",
+    "increment_figures_from_records",
+    "list_suites",
+    "materialize_dataset",
+    "register_suite",
+    "render_suite_report",
+    "run_scenario",
+    "run_suite",
+    "suite_table_rows",
+    "table1_rows_from_records",
+    "table2_rows_from_records",
+]

@@ -1,0 +1,153 @@
+"""Fold stored harness records back into the paper's tables and figures.
+
+Records (plain dicts from :func:`repro.harness.runner.run_scenario`, or
+loaded back from a :class:`~repro.harness.store.ResultStore`) carry enough
+to rebuild the Table 1 / Table 2 rows and the Figure 8/9 per-increment
+series without re-running anything; rendering reuses the existing
+:mod:`repro.analysis` helpers so harness output matches the hand-rolled
+reproduction scripts row for row.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.figures import FigureData
+from repro.analysis.tables import render_table
+
+Record = Dict[str, Any]
+
+
+def suite_table_rows(records: Sequence[Record]) -> List[Dict[str, object]]:
+    """A one-row-per-scenario overview table of a suite run."""
+    rows: List[Dict[str, object]] = []
+    for record in records:
+        spec = record["scenario"]
+        dataset, chip = spec["dataset"], spec["chip"]
+        row: Dict[str, object] = {
+            "Scenario": record["name"],
+            "Algorithm": spec["algorithm"],
+            "Chip": f"{chip['side']}x{chip['side']}",
+            "Sampling": dataset["sampling"].capitalize(),
+            "Edges": record["edges_stored"],
+            "Cycles": record["total_cycles"],
+            "Energy (uJ)": round(record["energy"]["total_uj"], 1),
+            "Time (us)": round(record["energy"]["time_us"], 2),
+        }
+        metrics = record.get("algo_metrics") or {}
+        row["Result"] = ", ".join(f"{k}={v}" for k, v in metrics.items()) or "-"
+        rows.append(row)
+    return rows
+
+
+def table1_rows_from_records(records: Sequence[Record]) -> List[Dict[str, object]]:
+    """Table 1 rows (edges per increment) from stored records.
+
+    One row per distinct dataset spec, preserving suite order; matches the
+    column layout of :func:`repro.analysis.tables.table1_rows`.
+    """
+    rows: List[Dict[str, object]] = []
+    seen = set()
+    for record in records:
+        dataset = record["scenario"]["dataset"]
+        key = tuple(sorted(dataset.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        row: Dict[str, object] = {
+            "Vertices": dataset["vertices"],
+            "Sampling Type": dataset["sampling"].capitalize(),
+        }
+        for i, size in enumerate(record["increment_sizes"], start=1):
+            row[f"Inc {i}"] = size
+        row["Final Edges"] = sum(record["increment_sizes"])
+        rows.append(row)
+    return rows
+
+
+def _pair_records(records: Sequence[Record]) -> Dict[Tuple, Dict[str, Record]]:
+    """Group records into {dataset+chip+options key: {algorithm: record}}.
+
+    Run options are part of the key so e.g. vicinity- and random-allocator
+    runs of the same dataset/chip never collapse into one pair.
+    """
+    pairs: Dict[Tuple, Dict[str, Record]] = {}
+    for record in records:
+        spec = record["scenario"]
+        key = (
+            tuple(sorted(spec["dataset"].items())),
+            tuple(sorted(spec["chip"].items())),
+            tuple(sorted(spec["options"].items())),
+        )
+        pairs.setdefault(key, {})[spec["algorithm"]] = record
+    return pairs
+
+
+def table2_rows_from_records(records: Sequence[Record]) -> List[Dict[str, object]]:
+    """Table 2 rows (energy/time, ingestion vs ingestion+BFS) from records.
+
+    Pairs each ``ingest`` record with the ``bfs`` record sharing its dataset
+    and chip spec; unpaired records are skipped.  Matches the column layout
+    of :func:`repro.analysis.tables.table2_rows`.
+    """
+    rows: List[Dict[str, object]] = []
+    for group in _pair_records(records).values():
+        ingest, bfs = group.get("ingest"), group.get("bfs")
+        if ingest is None or bfs is None:
+            continue
+        label = ingest["name"].rsplit("-ingest", 1)[0]
+        rows.append(
+            {
+                "Dataset": label,
+                "Sampling Type": ingest["scenario"]["dataset"]["sampling"].capitalize(),
+                "Ingestion Energy (uJ)": round(ingest["energy"]["total_uj"], 1),
+                "Ingestion Time (us)": round(ingest["energy"]["time_us"], 2),
+                "Ingestion & BFS Energy (uJ)": round(bfs["energy"]["total_uj"], 1),
+                "Ingestion & BFS Time (us)": round(bfs["energy"]["time_us"], 2),
+            }
+        )
+    return rows
+
+
+def increment_figures_from_records(records: Sequence[Record]) -> List[FigureData]:
+    """Figure 8/9 analogues (cycles per increment) from paired records."""
+    figures: List[FigureData] = []
+    for group in _pair_records(records).values():
+        ingest, bfs = group.get("ingest"), group.get("bfs")
+        if ingest is None or bfs is None:
+            continue
+        label = ingest["name"].rsplit("-ingest", 1)[0]
+        fig = FigureData(
+            title=f"Cycles per increment ({label})",
+            x_label="Increment",
+            y_label="Cycles",
+        )
+        fig.add("Streaming Edges", ingest["increment_cycles"])
+        fig.add("Streaming Edges with BFS", bfs["increment_cycles"])
+        figures.append(fig)
+    return figures
+
+
+def render_suite_report(records: Sequence[Record], *,
+                        tables: Optional[Sequence[str]] = None) -> str:
+    """Render a full text report for a suite's records.
+
+    ``tables`` selects sections out of ``("suite", "table1", "table2")``;
+    by default every section that has data is included.
+    """
+    wanted = tuple(tables) if tables is not None else ("suite", "table1", "table2")
+    sections: List[str] = []
+    if "suite" in wanted:
+        sections.append("Suite results:\n"
+                        + render_table(suite_table_rows(records), max_width=36))
+    if "table1" in wanted:
+        rows = table1_rows_from_records(records)
+        if rows:
+            sections.append("Table 1 analogue (edges per increment):\n"
+                            + render_table(rows))
+    if "table2" in wanted:
+        rows = table2_rows_from_records(records)
+        if rows:
+            sections.append("Table 2 analogue (energy and time):\n"
+                            + render_table(rows, max_width=36))
+    return "\n\n".join(sections)

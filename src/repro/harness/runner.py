@@ -1,0 +1,270 @@
+"""Scenario execution: serial or across ``multiprocessing`` workers.
+
+:func:`run_scenario` materialises one :class:`~repro.harness.scenario.Scenario`
+into a dataset + device + graph + algorithm, streams every increment, runs
+the query diffusion when the algorithm has one, and returns a flat,
+JSON-serialisable **record** containing only deterministic fields (no
+timestamps, hostnames or wall-clock), so the same scenario produces a
+byte-identical record whether it runs in-process or in a worker.
+
+:func:`run_suite` fans a suite out over a process pool.  Each worker builds
+its own :class:`~repro.runtime.device.AMCCADevice` from the declarative
+spec — a mid-run simulator is full of closures and is not picklable, but a
+:class:`Scenario` is a frozen dataclass of plain values, so only specs cross
+the process boundary (records come back as plain dicts).  Scenarios already
+present in the :class:`~repro.harness.store.ResultStore` are skipped as
+cache hits unless ``force`` is set.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro import __version__
+from repro.algorithms import (
+    JaccardCoefficient,
+    PageRankDelta,
+    StreamingBFS,
+    StreamingConnectedComponents,
+    StreamingSSSP,
+    TriangleCounting,
+)
+from repro.datasets.streaming import StreamingDataset, make_streaming_dataset
+from repro.graph.graph import DynamicGraph
+from repro.graph.rpvo import Edge
+from repro.harness.scenario import DatasetSpec, RunOptions, Scenario
+from repro.harness.store import ResultStore
+from repro.runtime.device import AMCCADevice
+
+
+# ----------------------------------------------------------------------
+# Materialisation
+# ----------------------------------------------------------------------
+def materialize_dataset(spec: DatasetSpec) -> StreamingDataset:
+    """Generate the streaming dataset a :class:`DatasetSpec` describes."""
+    dataset = make_streaming_dataset(
+        spec.vertices,
+        spec.edges,
+        sampling=spec.sampling,
+        num_increments=spec.num_increments,
+        symmetric=spec.symmetric,
+        seed=spec.seed,
+        name=spec.name,
+    )
+    if spec.weighted:
+        rng = random.Random(spec.seed)
+        dataset.increments = [
+            [Edge(e.src, e.dst, rng.randint(1, 9)) for e in chunk]
+            for chunk in dataset.increments
+        ]
+    return dataset
+
+
+def make_algorithm(scenario: Scenario):
+    """Instantiate the algorithm object a scenario names (None for ingest)."""
+    kind = scenario.algorithm
+    root = scenario.options.root
+    if kind == "ingest":
+        return None
+    if kind == "bfs":
+        return StreamingBFS(root=root)
+    if kind == "sssp":
+        return StreamingSSSP(root=root)
+    if kind == "components":
+        return StreamingConnectedComponents()
+    if kind == "pagerank":
+        return PageRankDelta()
+    if kind == "triangles":
+        return TriangleCounting()
+    if kind == "jaccard":
+        return JaccardCoefficient()
+    raise ValueError(f"unknown algorithm {kind!r}")
+
+
+def _algorithm_metrics(kind: str, algorithm, graph: DynamicGraph) -> Dict[str, Any]:
+    """Small deterministic result summary, one shape per algorithm."""
+    if kind == "ingest" or algorithm is None:
+        return {}
+    results = algorithm.results(graph)
+    if kind in ("bfs", "sssp"):
+        return {"reached": len(results)}
+    if kind == "components":
+        return {"components": len(set(results.values()))}
+    if kind == "pagerank":
+        return {
+            "vertices_ranked": len(results),
+            "rank_mass": round(sum(results.values()), 9),
+        }
+    if kind == "triangles":
+        return {"triangles": int(results["total"])}
+    if kind == "jaccard":
+        top = round(max(results.values()), 9) if results else 0.0
+        return {"pairs": len(results), "max_coefficient": top}
+    return {}
+
+
+# ----------------------------------------------------------------------
+# Single-scenario execution
+# ----------------------------------------------------------------------
+def run_scenario(scenario: Scenario) -> Dict[str, Any]:
+    """Execute one scenario end to end and return its result record."""
+    opts: RunOptions = scenario.options
+    dataset = materialize_dataset(scenario.dataset)
+    chip = scenario.chip.to_chip_config()
+    device = AMCCADevice(chip)
+    graph = DynamicGraph(
+        device,
+        dataset.num_vertices,
+        placement=opts.placement,
+        ghost_allocator=opts.ghost_allocator,
+        seed=scenario.graph_seed(),
+        ingest_only=scenario.algorithm == "ingest",
+    )
+    algorithm = make_algorithm(scenario)
+    if algorithm is not None:
+        graph.attach(algorithm)
+        if hasattr(algorithm, "seed"):
+            algorithm.seed(graph, root=opts.root)
+
+    increment_cycles: List[int] = []
+    for i, increment in enumerate(dataset.increments, start=1):
+        result = graph.stream_increment(
+            increment,
+            phase=f"increment-{i}",
+            max_cycles=opts.max_cycles_per_increment,
+        )
+        increment_cycles.append(result.cycles)
+
+    # Query algorithms (triangles, jaccard, pagerank-delta) diffuse over the
+    # ingested graph after streaming quiesces.
+    query_cycles = 0
+    if algorithm is not None and hasattr(algorithm, "run"):
+        query_result = algorithm.run(graph)
+        query_cycles = query_result.cycles
+
+    stats = device.stats()
+    energy = device.energy_report()
+    summary = stats.summary()
+    ghosts = graph.ghost_report()
+    return {
+        "spec_hash": scenario.spec_hash(),
+        "name": scenario.name,
+        "repro_version": __version__,
+        "scenario": scenario.spec_dict(),
+        "increment_sizes": dataset.increment_sizes(),
+        "increment_cycles": increment_cycles,
+        "query_cycles": query_cycles,
+        "total_cycles": sum(increment_cycles) + query_cycles,
+        "energy": energy.as_dict(),
+        "stats": summary,
+        "edges_stored": graph.total_edges_stored(),
+        "ghost_blocks": ghosts["ghost_blocks"],
+        "algo_metrics": _algorithm_metrics(scenario.algorithm, algorithm, graph),
+    }
+
+
+# ----------------------------------------------------------------------
+# Suite execution
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioOutcome:
+    """One scenario's record plus where it came from (cache or fresh run)."""
+
+    scenario: Scenario
+    record: Dict[str, Any]
+    cached: bool
+
+
+@dataclass
+class SuiteReport:
+    """Everything :func:`run_suite` did, in suite order."""
+
+    outcomes: List[ScenarioOutcome] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    jobs: int = 1
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        return [o.record for o in self.outcomes]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return len(self.outcomes) - self.cache_hits
+
+
+def run_suite(
+    scenarios: List[Scenario],
+    *,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SuiteReport:
+    """Run a suite of scenarios, consulting and filling the result store.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (or a single pending scenario) runs
+        serially in-process; results are identical either way because every
+        scenario derives its seeds from its own spec.
+    store:
+        Optional :class:`ResultStore`.  Scenarios whose spec hash is already
+        stored are reported as cache hits and not re-run.
+    force:
+        Re-run every scenario even on a cache hit, replacing stored records.
+    progress:
+        Optional callback receiving one human-readable line per scenario.
+    """
+    say = progress or (lambda _msg: None)
+    started = time.perf_counter()
+    report = SuiteReport(jobs=jobs)
+
+    hashes = [s.spec_hash() for s in scenarios]
+    pending: List[int] = []  # indices into `scenarios` that must actually run
+    slots: List[Optional[ScenarioOutcome]] = [None] * len(scenarios)
+    seen_this_run: Dict[str, int] = {}
+    for i, (scenario, spec_hash) in enumerate(zip(scenarios, hashes)):
+        cached = store.get(spec_hash) if (store is not None and not force) else None
+        if cached is not None:
+            slots[i] = ScenarioOutcome(scenario, cached, cached=True)
+            say(f"[cache hit ] {scenario.name}")
+        elif spec_hash in seen_this_run:
+            # Duplicate spec inside one suite: run once, reuse the record.
+            pass
+        else:
+            seen_this_run[spec_hash] = i
+            pending.append(i)
+
+    if pending:
+        workers = max(1, min(jobs, len(pending)))
+        if workers > 1:
+            ctx = multiprocessing.get_context()
+            with ctx.Pool(processes=workers) as pool:
+                fresh = pool.map(run_scenario, [scenarios[i] for i in pending])
+        else:
+            fresh = [run_scenario(scenarios[i]) for i in pending]
+        for i, record in zip(pending, fresh):
+            slots[i] = ScenarioOutcome(scenarios[i], record, cached=False)
+            say(f"[computed  ] {scenarios[i].name}")
+        if store is not None:
+            store.put_many(fresh)
+
+    # Fill records for intra-suite duplicates from the scenario that ran.
+    by_hash = {o.record["spec_hash"]: o for o in slots if o is not None}
+    for i, slot in enumerate(slots):
+        if slot is None:
+            twin = by_hash[hashes[i]]
+            slots[i] = ScenarioOutcome(scenarios[i], twin.record, cached=True)
+
+    report.outcomes = [s for s in slots if s is not None]
+    report.elapsed_s = time.perf_counter() - started
+    return report

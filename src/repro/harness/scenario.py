@@ -1,0 +1,177 @@
+"""Declarative scenario specifications for the experiment harness.
+
+A :class:`Scenario` is a fully declarative description of one experiment
+run: *what graph* (:class:`DatasetSpec`), *on what chip*
+(:class:`ChipSpec`), *running what algorithm*, *with which run options*
+(:class:`RunOptions`).  Scenarios are frozen dataclasses so they can be
+hashed, pickled to worker processes, serialised to JSON and round-tripped
+losslessly — the content hash of the canonical JSON form (plus the repro
+version) is the cache key of the result store.
+
+Nothing in this module builds a device or touches the simulator; the
+runner (:mod:`repro.harness.runner`) materialises scenarios into runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro import __version__
+from repro.arch.config import ChipConfig
+
+#: Algorithms the harness can run.  ``ingest`` streams edges with no
+#: algorithm attached (the paper's "Streaming Edges" configuration); the
+#: six named algorithms cover the paper's BFS plus its future-work set.
+ALGORITHMS: Tuple[str, ...] = (
+    "ingest",
+    "bfs",
+    "sssp",
+    "components",
+    "pagerank",
+    "triangles",
+    "jaccard",
+)
+
+#: Algorithms that operate on an undirected (symmetrised) edge set.
+SYMMETRIC_ALGORITHMS: Tuple[str, ...] = ("components", "triangles", "jaccard")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Declarative description of a streaming dataset (see Table 1)."""
+
+    vertices: int = 200
+    edges: int = 2000
+    sampling: str = "edge"
+    num_increments: int = 10
+    symmetric: bool = False
+    weighted: bool = False
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.vertices <= 0 or self.edges <= 0:
+            raise ValueError("vertices and edges must be positive")
+        if self.sampling not in ("edge", "snowball"):
+            raise ValueError(f"unknown sampling {self.sampling!r}")
+        if self.num_increments <= 0:
+            raise ValueError("num_increments must be positive")
+
+    @property
+    def name(self) -> str:
+        return f"sbm-{self.vertices}v-{self.edges}e-{self.sampling}"
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """Declarative description of the simulated chip for one scenario."""
+
+    side: int = 32
+    fidelity: str = "cycle"
+    routing: str = "yx"
+    edge_list_capacity: int = 16
+    ghost_slots: int = 1
+    clock_ghz: float = 1.0
+
+    def to_chip_config(self) -> ChipConfig:
+        """Materialise into the simulator's :class:`ChipConfig`."""
+        return ChipConfig(
+            width=self.side,
+            height=self.side,
+            fidelity=self.fidelity,
+            routing=self.routing,
+            edge_list_capacity=self.edge_list_capacity,
+            ghost_slots=self.ghost_slots,
+            clock_ghz=self.clock_ghz,
+        )
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Knobs of the run itself (allocator, placement, roots, budgets)."""
+
+    ghost_allocator: str = "vicinity"
+    placement: str = "round_robin"
+    root: int = 0
+    max_cycles_per_increment: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative experiment: dataset x chip x algorithm x options."""
+
+    name: str
+    dataset: DatasetSpec = field(default_factory=DatasetSpec)
+    chip: ChipSpec = field(default_factory=ChipSpec)
+    algorithm: str = "bfs"
+    options: RunOptions = field(default_factory=RunOptions)
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; expected one of {ALGORITHMS}"
+            )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def spec_dict(self) -> Dict[str, Any]:
+        """Nested plain-dict form of the scenario (JSON-serialisable)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Scenario":
+        """Rebuild a scenario from :meth:`spec_dict` output."""
+        return cls(
+            name=data["name"],
+            dataset=DatasetSpec(**data["dataset"]),
+            chip=ChipSpec(**data["chip"]),
+            algorithm=data["algorithm"],
+            options=RunOptions(**data["options"]),
+        )
+
+    def canonical_json(self) -> str:
+        """Canonical JSON encoding: sorted keys, no whitespace variance."""
+        return json.dumps(self.spec_dict(), sort_keys=True, separators=(",", ":"))
+
+    def spec_hash(self) -> str:
+        """Content hash of the spec + repro version — the result-store key.
+
+        Including :data:`repro.__version__` means a release that changes
+        simulator behaviour invalidates every cached result automatically.
+        """
+        payload = f"{__version__}\n{self.canonical_json()}".encode()
+        return hashlib.sha256(payload).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Derived knobs
+    # ------------------------------------------------------------------
+    def graph_seed(self) -> int:
+        """Deterministic per-scenario seed for placement/ghost allocation.
+
+        Derived from the *physical* part of the spec only — dataset, chip,
+        algorithm and run options, **not** the scenario name and not
+        :data:`repro.__version__` — so distinct experiments decorrelate
+        while renaming a scenario or releasing a new version does not
+        silently change the experiment's RNG.  (The cache key,
+        :meth:`spec_hash`, deliberately does include name and version.)
+        """
+        spec = self.spec_dict()
+        del spec["name"]
+        payload = json.dumps(spec, sort_keys=True, separators=(",", ":")).encode()
+        return int(hashlib.sha256(payload).hexdigest()[:8], 16) % (2**31 - 1)
+
+    def with_(self, **kwargs) -> "Scenario":
+        """Copy with some top-level fields replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """One-line human summary used by ``repro suite list``."""
+        d, c = self.dataset, self.chip
+        return (
+            f"{self.name}: {self.algorithm} on {d.vertices}v/{d.edges}e "
+            f"{d.sampling} x{d.num_increments}inc, chip {c.side}x{c.side} "
+            f"({c.fidelity})"
+        )

@@ -1,0 +1,123 @@
+"""JSONL-on-disk result store keyed by scenario content hash.
+
+Every record is one JSON object per line with at least a ``spec_hash``
+field (the :meth:`~repro.harness.scenario.Scenario.spec_hash` of the run)
+plus the measurements the runner produced.  Appending is the common path;
+replacing (``--force`` re-runs) compacts the file so a hash appears at most
+once.  Records contain no timestamps or host-dependent fields, so a store
+written by a parallel run is byte-identical to one written serially.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class ResultStore:
+    """A cache of scenario results persisted as one JSONL file."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._records: Dict[str, Dict[str, Any]] = {}
+        if self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{self.path}:{line_no}: corrupt result store line: {exc}"
+                    ) from exc
+                key = record.get("spec_hash")
+                if not key:
+                    raise ValueError(f"{self.path}:{line_no}: record has no spec_hash")
+                # Last record for a hash wins (append-only update semantics).
+                self._records[key] = record
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, spec_hash: str) -> bool:
+        return spec_hash in self._records
+
+    def get(self, spec_hash: str) -> Optional[Dict[str, Any]]:
+        """The stored record for a scenario hash, or None on a cache miss."""
+        return self._records.get(spec_hash)
+
+    def records(self) -> List[Dict[str, Any]]:
+        """All stored records, in insertion order."""
+        return list(self._records.values())
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self._records.values())
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    @staticmethod
+    def encode(record: Dict[str, Any]) -> str:
+        """Canonical single-line encoding shared by put() and rewrites."""
+        return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+    def put(self, record: Dict[str, Any]) -> None:
+        """Insert or replace the record for ``record['spec_hash']``.
+
+        New hashes are appended; replacing an existing hash rewrites the
+        file (atomically, via a temp file) so the store stays compact.
+        """
+        self.put_many([record])
+
+    def put_many(self, records: List[Dict[str, Any]]) -> None:
+        """Insert or replace a batch of records with at most one rewrite.
+
+        A ``--force`` re-run replaces many records at once; rewriting per
+        record would be O(batch x store) I/O, so replacements are folded
+        into a single compaction.
+        """
+        appends: List[Dict[str, Any]] = []
+        replacing = False
+        for record in records:
+            key = record.get("spec_hash")
+            if not key:
+                raise ValueError("record must carry a spec_hash")
+            if key in self._records:
+                replacing = True
+            else:
+                appends.append(record)
+            self._records[key] = record
+        if replacing:
+            self._rewrite()
+        elif appends:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as fh:
+                for record in appends:
+                    fh.write(self.encode(record) + "\n")
+
+    def _rewrite(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(self.path.parent), suffix=".jsonl.tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                for record in self._records.values():
+                    fh.write(self.encode(record) + "\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise

@@ -1,18 +1,20 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Plain helper functions (``random_edges``, ``build_bfs_graph``) live in
+``tests/helpers.py`` and are imported explicitly by the test modules that
+need them; importing them from ``conftest`` is unreliable because the
+``conftest`` module name is shared with ``benchmarks/conftest.py``.
+"""
 
 from __future__ import annotations
-
-import random
-from typing import List, Optional, Tuple
 
 import pytest
 
 from repro.arch.config import ChipConfig
-from repro.algorithms.bfs import StreamingBFS
 from repro.datasets.streaming import StreamingDataset, make_streaming_dataset
-from repro.graph.graph import DynamicGraph
-from repro.graph.rpvo import Edge
 from repro.runtime.device import AMCCADevice
+
+from helpers import build_bfs_graph, random_edges  # noqa: F401  (re-exported)
 
 
 @pytest.fixture
@@ -30,45 +32,6 @@ def tiny_chip() -> ChipConfig:
 @pytest.fixture
 def device(small_chip) -> AMCCADevice:
     return AMCCADevice(small_chip)
-
-
-def random_edges(num_vertices: int, num_edges: int, seed: int = 0,
-                 weights: bool = False) -> List[Edge]:
-    """A reproducible random directed edge list without self loops."""
-    rng = random.Random(seed)
-    edges: List[Edge] = []
-    while len(edges) < num_edges:
-        u = rng.randrange(num_vertices)
-        v = rng.randrange(num_vertices)
-        if u == v:
-            continue
-        w = rng.randint(1, 9) if weights else 1
-        edges.append(Edge(u, v, w))
-    return edges
-
-
-def build_bfs_graph(
-    chip: ChipConfig,
-    num_vertices: int,
-    *,
-    root: int = 0,
-    seed: int = 3,
-    ghost_allocator: str = "vicinity",
-    ingest_only: bool = False,
-) -> Tuple[AMCCADevice, DynamicGraph, StreamingBFS]:
-    """Device + graph + seeded BFS, ready for streaming."""
-    device = AMCCADevice(chip)
-    graph = DynamicGraph(
-        device,
-        num_vertices,
-        seed=seed,
-        ghost_allocator=ghost_allocator,
-        ingest_only=ingest_only,
-    )
-    bfs = StreamingBFS(root=root)
-    graph.attach(bfs)
-    bfs.seed(graph, root=root)
-    return device, graph, bfs
 
 
 @pytest.fixture

@@ -1,0 +1,58 @@
+"""Shared test helpers, imported explicitly as ``from helpers import ...``.
+
+These used to live in ``tests/conftest.py`` and be imported with
+``from conftest import ...``, but pytest's rootdir-based sys.path insertion
+made that resolve to ``benchmarks/conftest.py`` when both directories were
+collected in one run (the ``conftest`` module name is first-come-first-served
+in ``sys.modules``).  A uniquely named helper module has no such collision.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.arch.config import ChipConfig
+from repro.algorithms.bfs import StreamingBFS
+from repro.graph.graph import DynamicGraph
+from repro.graph.rpvo import Edge
+from repro.runtime.device import AMCCADevice
+
+
+def random_edges(num_vertices: int, num_edges: int, seed: int = 0,
+                 weights: bool = False) -> List[Edge]:
+    """A reproducible random directed edge list without self loops."""
+    rng = random.Random(seed)
+    edges: List[Edge] = []
+    while len(edges) < num_edges:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u == v:
+            continue
+        w = rng.randint(1, 9) if weights else 1
+        edges.append(Edge(u, v, w))
+    return edges
+
+
+def build_bfs_graph(
+    chip: ChipConfig,
+    num_vertices: int,
+    *,
+    root: int = 0,
+    seed: int = 3,
+    ghost_allocator: str = "vicinity",
+    ingest_only: bool = False,
+) -> Tuple[AMCCADevice, DynamicGraph, StreamingBFS]:
+    """Device + graph + seeded BFS, ready for streaming."""
+    device = AMCCADevice(chip)
+    graph = DynamicGraph(
+        device,
+        num_vertices,
+        seed=seed,
+        ghost_allocator=ghost_allocator,
+        ingest_only=ingest_only,
+    )
+    bfs = StreamingBFS(root=root)
+    graph.attach(bfs)
+    bfs.seed(graph, root=root)
+    return device, graph, bfs

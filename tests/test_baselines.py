@@ -14,7 +14,7 @@ from repro.baselines.static_recompute import static_recompute_bfs
 from repro.datasets.streaming import make_streaming_dataset
 from repro.graph.rpvo import Edge, INFINITY
 
-from conftest import random_edges
+from helpers import random_edges
 
 
 class TestBuildNetworkx:

@@ -7,7 +7,7 @@ from repro.arch.config import ChipConfig
 from repro.baselines.networkx_ref import build_networkx
 from repro.graph.rpvo import Edge
 
-from conftest import build_bfs_graph, random_edges
+from helpers import build_bfs_graph, random_edges
 
 
 def reference_levels(edges, num_vertices, root):

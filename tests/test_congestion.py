@@ -13,7 +13,7 @@ from repro.graph.graph import DynamicGraph
 from repro.graph.rpvo import Edge
 from repro.runtime.device import AMCCADevice
 
-from conftest import random_edges
+from helpers import random_edges
 
 
 def run_graph(edges, num_vertices=30, chip=None):

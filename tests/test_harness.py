@@ -1,0 +1,237 @@
+"""Tests for the experiment harness: specs, registry, store, runner, report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness import (
+    ChipSpec,
+    DatasetSpec,
+    ResultStore,
+    Scenario,
+    get_suite,
+    list_suites,
+    register_suite,
+    run_scenario,
+    run_suite,
+    table2_rows_from_records,
+)
+from repro.harness.scenario import ALGORITHMS, RunOptions
+
+
+def tiny_scenario(name="t", algorithm="ingest", **dataset_kwargs) -> Scenario:
+    """A scenario small enough that running it takes well under a second."""
+    defaults = dict(vertices=64, edges=256, sampling="edge", seed=3)
+    defaults.update(dataset_kwargs)
+    return Scenario(
+        name=name,
+        dataset=DatasetSpec(**defaults),
+        chip=ChipSpec(side=4),
+        algorithm=algorithm,
+    )
+
+
+def four_scenario_suite():
+    """4 scenarios mixing algorithms and sampling orders (all tiny)."""
+    return [
+        tiny_scenario("s1", "ingest"),
+        tiny_scenario("s2", "bfs"),
+        tiny_scenario("s3", "bfs", sampling="snowball"),
+        tiny_scenario("s4", "components", symmetric=True),
+    ]
+
+
+class TestScenarioSpec:
+    def test_round_trip(self):
+        for scenario in four_scenario_suite():
+            rebuilt = Scenario.from_dict(scenario.spec_dict())
+            assert rebuilt == scenario
+            assert rebuilt.spec_hash() == scenario.spec_hash()
+
+    def test_registry_suites_round_trip(self):
+        for suite in list_suites():
+            for scenario in get_suite(suite.name):
+                assert Scenario.from_dict(scenario.spec_dict()) == scenario
+
+    def test_spec_hash_stable_across_instances(self):
+        a = tiny_scenario("same")
+        b = tiny_scenario("same")
+        assert a is not b
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_spec_hash_ignores_dict_ordering(self):
+        scenario = tiny_scenario("ordered")
+        spec = scenario.spec_dict()
+        # Round-trip through a JSON dict with reversed key order.
+        shuffled = json.loads(json.dumps(spec, sort_keys=True))
+        reordered = {k: shuffled[k] for k in reversed(list(shuffled))}
+        assert Scenario.from_dict(reordered).spec_hash() == scenario.spec_hash()
+
+    def test_spec_hash_sensitive_to_every_layer(self):
+        base = tiny_scenario("base")
+        variants = [
+            base.with_(name="renamed"),
+            base.with_(algorithm="bfs"),
+            base.with_(dataset=DatasetSpec(vertices=64, edges=257, seed=3)),
+            base.with_(chip=ChipSpec(side=8)),
+            base.with_(options=RunOptions(ghost_allocator="random")),
+        ]
+        hashes = {base.spec_hash()} | {v.spec_hash() for v in variants}
+        assert len(hashes) == len(variants) + 1
+
+    def test_spec_hash_sensitive_to_repro_version(self, monkeypatch):
+        scenario = tiny_scenario("versioned")
+        before = scenario.spec_hash()
+        monkeypatch.setattr("repro.harness.scenario.__version__", "0.0.0-test")
+        assert scenario.spec_hash() != before
+
+    def test_graph_seed_independent_of_name_and_version(self, monkeypatch):
+        # Renaming a scenario or bumping the repro version must not change
+        # the experiment's RNG (only the cache key), so results stay
+        # comparable across releases.
+        a, b = tiny_scenario("name-a"), tiny_scenario("name-b")
+        assert a.spec_hash() != b.spec_hash()
+        assert a.graph_seed() == b.graph_seed()
+        before = a.graph_seed()
+        monkeypatch.setattr("repro.harness.scenario.__version__", "0.0.0-test")
+        assert a.graph_seed() == before
+        # Distinct physical specs still decorrelate.
+        assert tiny_scenario("name-a", "bfs").graph_seed() != before
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_scenario(algorithm="quantum")
+
+    def test_algorithm_list_matches_registry_usage(self):
+        for suite in list_suites():
+            for scenario in get_suite(suite.name):
+                assert scenario.algorithm in ALGORITHMS
+
+
+class TestRegistry:
+    def test_builtin_suites_present(self):
+        names = {suite.name for suite in list_suites()}
+        assert {"tiny", "paper-tiny", "paper-small", "chip-sweep",
+                "sampling-sweep", "algorithms", "fidelity-sweep"} <= names
+
+    def test_paper_tiny_has_at_least_eight_scenarios(self):
+        assert len(get_suite("paper-tiny")) >= 8
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(KeyError):
+            get_suite("no-such-suite")
+
+    def test_register_and_fetch_custom_suite(self, monkeypatch):
+        from repro.harness import registry
+        # Work on a copy of the registry so the global suite set is
+        # unchanged for other tests regardless of execution order.
+        monkeypatch.setattr(registry, "_SUITES", dict(registry._SUITES))
+        register_suite("test-custom", "registered by the test suite",
+                       lambda: [tiny_scenario("custom")])
+        scenarios = get_suite("test-custom")
+        assert [s.name for s in scenarios] == ["custom"]
+
+
+class TestResultStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        record = {"spec_hash": "abc", "value": 1}
+        store.put(record)
+        reloaded = ResultStore(tmp_path / "store.jsonl")
+        assert reloaded.get("abc") == record
+        assert "abc" in reloaded and len(reloaded) == 1
+
+    def test_replace_compacts_file(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.put({"spec_hash": "abc", "value": 1})
+        store.put({"spec_hash": "xyz", "value": 2})
+        store.put({"spec_hash": "abc", "value": 3})
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert ResultStore(path).get("abc")["value"] == 3
+
+    def test_put_many_mixed_append_and_replace(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.put_many([{"spec_hash": "a", "value": 1},
+                        {"spec_hash": "b", "value": 2}])
+        store.put_many([{"spec_hash": "a", "value": 3},
+                        {"spec_hash": "c", "value": 4}])
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        reloaded = ResultStore(path)
+        assert reloaded.get("a")["value"] == 3
+        assert reloaded.get("c")["value"] == 4
+
+    def test_record_without_hash_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        with pytest.raises(ValueError):
+            store.put({"value": 1})
+
+    def test_corrupt_line_reported(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text('{"spec_hash": "ok"}\nnot json\n')
+        with pytest.raises(ValueError, match="corrupt"):
+            ResultStore(path)
+
+
+class TestRunner:
+    def test_cache_miss_then_hit(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        suite = [tiny_scenario("s1", "ingest"), tiny_scenario("s2", "bfs")]
+        first = run_suite(suite, store=store)
+        assert (first.cache_hits, first.cache_misses) == (0, 2)
+        second = run_suite(suite, store=store)
+        assert (second.cache_hits, second.cache_misses) == (2, 0)
+        assert second.records == first.records
+
+    def test_force_recomputes_without_duplicates(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        suite = [tiny_scenario("s1", "ingest")]
+        run_suite(suite, store=store)
+        forced = run_suite(suite, store=store, force=True)
+        assert (forced.cache_hits, forced.cache_misses) == (0, 1)
+        assert len(path.read_text().strip().splitlines()) == 1
+
+    def test_parallel_results_byte_identical_to_serial(self, tmp_path):
+        suite = four_scenario_suite()
+        serial_store = ResultStore(tmp_path / "serial.jsonl")
+        parallel_store = ResultStore(tmp_path / "parallel.jsonl")
+        serial = run_suite(suite, jobs=1, store=serial_store)
+        parallel = run_suite(four_scenario_suite(), jobs=4, store=parallel_store)
+        assert serial.records == parallel.records
+        assert (tmp_path / "serial.jsonl").read_bytes() == \
+               (tmp_path / "parallel.jsonl").read_bytes()
+
+    def test_record_shape(self):
+        record = run_scenario(tiny_scenario("shape", "bfs"))
+        assert record["spec_hash"] == tiny_scenario("shape", "bfs").spec_hash()
+        assert len(record["increment_cycles"]) == 10
+        assert record["total_cycles"] == sum(record["increment_cycles"])
+        assert record["edges_stored"] == 256
+        assert record["algo_metrics"]["reached"] >= 1
+        # Records must stay JSON-serialisable and deterministic.
+        assert json.loads(json.dumps(record)) == record
+
+    def test_intra_suite_duplicates_run_once(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        twin_a, twin_b = tiny_scenario("twin"), tiny_scenario("twin")
+        report = run_suite([twin_a, twin_b], store=store)
+        assert len(report.outcomes) == 2
+        assert report.cache_misses == 1 and report.cache_hits == 1
+        assert report.outcomes[0].record == report.outcomes[1].record
+
+
+class TestReport:
+    def test_table2_pairs_ingest_with_bfs(self):
+        suite = [tiny_scenario("pair-ingest", "ingest"),
+                 tiny_scenario("pair-bfs", "bfs")]
+        report = run_suite(suite)
+        rows = table2_rows_from_records(report.records)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["Ingestion & BFS Energy (uJ)"] > row["Ingestion Energy (uJ)"]

@@ -7,7 +7,7 @@ from repro.graph.graph import DynamicGraph
 from repro.graph.rpvo import Edge
 from repro.runtime.device import AMCCADevice
 
-from conftest import build_bfs_graph, random_edges
+from helpers import build_bfs_graph, random_edges
 
 
 def make_plain_graph(chip=None, num_vertices=20, **kwargs):

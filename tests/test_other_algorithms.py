@@ -17,7 +17,7 @@ from repro.graph.graph import DynamicGraph
 from repro.graph.rpvo import Edge
 from repro.runtime.device import AMCCADevice
 
-from conftest import random_edges
+from helpers import random_edges
 
 
 def make_graph(num_vertices, algorithm, capacity=4, chip=None, seed=2):
