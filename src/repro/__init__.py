@@ -39,7 +39,11 @@ from repro.algorithms import (
 )
 from repro.datasets import make_streaming_dataset, paper_dataset_configs
 
-__version__ = "1.1.0"
+# 1.2.0: link-indexed NoC fast path (array-keyed links, canonical
+# activation-order sweep, busy-cell parking).  The deterministic schedule
+# changed, so the version bump deliberately invalidates every result-store
+# cache (see docs/harness.md on the spec-hash x version keying contract).
+__version__ = "1.2.0"
 
 __all__ = [
     "ChipConfig",

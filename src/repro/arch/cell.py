@@ -169,6 +169,11 @@ class ComputeCell:
         an outgoing message is ready to be injected (the caller pops it from
         :attr:`staging` and hands it to the NoC), or ``None`` if the cell was
         idle this cycle.
+
+        This method is the reference semantics; ``Simulator.step`` inlines
+        an equivalent body (kept in sync) and, under the runtime's executor
+        fast path, additionally accepts raw messages in :attr:`task_queue`.
+        Direct callers of this method should enqueue :class:`Task` objects.
         """
         # 1. Finish the instructions of the action in progress.
         if self._remaining_instructions > 0:

@@ -26,9 +26,12 @@ class ChipConfig:
     routing:
         ``"yx"`` (vertical first, the paper's choice) or ``"xy"``.
     fidelity:
-        ``"cycle"`` for hop-by-hop flit movement with link contention, or
-        ``"latency"`` for contention-free Manhattan-delay delivery (a faster,
-        lower-fidelity mode for very large inputs).
+        ``"cycle"`` for hop-by-hop flit movement with link contention (the
+        array-based fast path), ``"latency"`` for contention-free
+        Manhattan-delay delivery (a faster, lower-fidelity mode for very
+        large inputs), or ``"cycle-ref"`` for the original dictionary-based
+        cycle-accurate implementation kept as the executable specification
+        (used by the equivalence tests; identical schedules, slower).
     io_sides:
         Which chip borders carry IO channels.  Any subset of
         ``{"west", "east", "north", "south"}``.  The paper's Figure 2 shows
@@ -63,7 +66,7 @@ class ChipConfig:
             raise ValueError("chip dimensions must be positive")
         if self.routing not in ("yx", "xy"):
             raise ValueError(f"unknown routing policy {self.routing!r}")
-        if self.fidelity not in ("cycle", "latency"):
+        if self.fidelity not in ("cycle", "latency", "cycle-ref"):
             raise ValueError(f"unknown NoC fidelity {self.fidelity!r}")
         bad = set(self.io_sides) - {"west", "east", "north", "south"}
         if bad:

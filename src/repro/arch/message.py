@@ -11,7 +11,6 @@ payloads (see :mod:`repro.arch.noc`).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.arch.address import Address
@@ -19,9 +18,13 @@ from repro.arch.address import Address
 _msg_counter = itertools.count()
 
 
-@dataclass
 class Message:
     """An active message in flight between two compute cells.
+
+    A ``__slots__`` class rather than a dataclass: hundreds of thousands of
+    messages are created and moved per simulated run, so instance size and
+    attribute-access speed matter.  Equality is identity (each in-flight
+    message is a unique object with a unique ``msg_id``).
 
     Parameters
     ----------
@@ -40,24 +43,52 @@ class Message:
         Payload size in 32-bit words, used for flit accounting.
     """
 
-    src: int
-    dst: int
-    action: str
-    target: Optional[Address] = None
-    operands: Tuple = ()
-    size_words: int = 2
-    msg_id: int = field(default_factory=lambda: next(_msg_counter))
-    created_cycle: int = -1
-    delivered_cycle: int = -1
-    hops: int = 0
-    #: position of the message while in flight (compute cell currently holding it)
-    position: int = -1
-    #: cycle of the last hop, used by the cycle-accurate NoC to prevent a
-    #: message from moving more than one hop per cycle.
-    last_moved: int = -1
+    __slots__ = (
+        "src",
+        "dst",
+        "action",
+        "target",
+        "operands",
+        "size_words",
+        "msg_id",
+        "created_cycle",
+        "delivered_cycle",
+        "hops",
+        "position",
+        "last_moved",
+        # NoC-private in-flight state (set by CycleAccurateNoC.inject): the
+        # shared read-only link-id route and the index of the link the
+        # message currently queues on.
+        "_noc_route",
+        "_noc_hop",
+    )
 
-    def __post_init__(self) -> None:
-        self.position = self.src
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        action: str,
+        target: Optional[Address] = None,
+        operands: Tuple = (),
+        size_words: int = 2,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.action = action
+        self.target = target
+        self.operands = operands
+        self.size_words = size_words
+        self.msg_id = next(_msg_counter)
+        self.created_cycle = -1
+        self.delivered_cycle = -1
+        self.hops = 0
+        #: position of the message while in flight (cell currently holding it)
+        self.position = src
+        #: cycle of the last movement.  Only the reference cycle-accurate
+        #: NoC maintains it (per hop, as its one-hop-per-cycle guard); the
+        #: array fast path guarantees single-hop movement structurally and
+        #: leaves this at -1.
+        self.last_moved = -1
 
     @property
     def latency(self) -> int:

@@ -13,7 +13,7 @@ required for deadlock in a mesh.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.arch.config import ChipConfig
 
@@ -22,6 +22,89 @@ NORTH = (0, -1)
 SOUTH = (0, 1)
 EAST = (1, 0)
 WEST = (-1, 0)
+
+#: Direction indices of the directed-link id scheme (see :class:`LinkTable`).
+#: The order N, W, E, S makes ascending link id agree with lexicographic
+#: ``(src_cell, dst_cell)`` order, so id-ordered sweeps have a stable,
+#: documented meaning.
+DIR_NORTH = 0
+DIR_WEST = 1
+DIR_EAST = 2
+DIR_SOUTH = 3
+
+#: Human-readable names, indexed by direction id.
+DIR_NAMES = ("north", "west", "east", "south")
+
+
+class LinkTable:
+    """Integer ids for every directed link of the mesh.
+
+    A directed link ``u -> v`` between neighbouring compute cells gets the id
+    ``u * 4 + direction`` where *direction* is one of :data:`DIR_NORTH`,
+    :data:`DIR_WEST`, :data:`DIR_EAST`, :data:`DIR_SOUTH`.  Ids are dense
+    (``4 * num_cells`` slots) so per-link state lives in flat preallocated
+    arrays instead of dictionaries; border slots that point off-mesh are
+    simply never used (their destination is ``-1``).
+
+    The cycle-accurate NoC keys its queues, occupancy flags and busy
+    counters by link id, and routing policies emit whole routes as link-id
+    lists (:meth:`RoutingPolicy.route_lids`).
+    """
+
+    __slots__ = ("width", "height", "num_cells", "num_links", "dst")
+
+    def __init__(self, config: ChipConfig) -> None:
+        w, h = config.width, config.height
+        n = w * h
+        self.width = w
+        self.height = h
+        self.num_cells = n
+        self.num_links = 4 * n
+        dst = [-1] * self.num_links
+        for u in range(n):
+            x, y = u % w, u // w
+            base = u * 4
+            if y > 0:
+                dst[base + DIR_NORTH] = u - w
+            if x > 0:
+                dst[base + DIR_WEST] = u - 1
+            if x < w - 1:
+                dst[base + DIR_EAST] = u + 1
+            if y < h - 1:
+                dst[base + DIR_SOUTH] = u + w
+        #: Destination cell per link id (-1 for off-mesh border slots).
+        self.dst = dst
+
+    # ------------------------------------------------------------------
+    def lid(self, u: int, v: int) -> int:
+        """The id of the directed link ``u -> v`` (must be mesh neighbours).
+
+        Vertical moves are checked first so the scheme stays unambiguous on
+        degenerate width-1 meshes (where ``u - 1 == u - width``).
+        """
+        w = self.width
+        if v == u - w:
+            return u * 4 + DIR_NORTH
+        if v == u + w:
+            return u * 4 + DIR_SOUTH
+        if v == u - 1:
+            return u * 4 + DIR_WEST
+        if v == u + 1:
+            return u * 4 + DIR_EAST
+        raise ValueError(f"cells {u} and {v} are not mesh neighbours")
+
+    def endpoints(self, lid: int) -> Tuple[int, int]:
+        """The ``(src_cell, dst_cell)`` pair of a link id."""
+        return lid >> 2, self.dst[lid]
+
+    def is_valid(self, lid: int) -> bool:
+        """True when the link id names a real on-mesh link."""
+        return 0 <= lid < self.num_links and self.dst[lid] >= 0
+
+    def describe(self, lid: int) -> str:
+        """Human-readable form, e.g. ``"5->13 (south)"``."""
+        u, v = self.endpoints(lid)
+        return f"{u}->{v} ({DIR_NAMES[lid & 3]})"
 
 
 class RoutingPolicy:
@@ -44,10 +127,58 @@ class RoutingPolicy:
             config.coords_of(cc) for cc in range(config.num_cells)
         ]
         self._width = config.width
+        #: Directed-link id table shared with the NoC and the statistics.
+        self.link_table = LinkTable(config)
+        #: (src, dst) -> link-id route memo for route_lids_cached.  Routes
+        #: are deterministic per policy, so cached lists are shared between
+        #: messages; callers treat them as read-only.  Bounded: traffic on a
+        #: 32x32 mesh could otherwise retain O(num_cells^2) lists.
+        self._route_cache: Dict[int, List[int]] = {}
+        self._route_cache_limit = 1 << 17
+        self._num_cells = config.num_cells
 
     def next_hop(self, current: int, dst: int) -> int:
         """Return the next compute cell on the route from ``current`` to ``dst``."""
         raise NotImplementedError
+
+    def route_lids(self, src: int, dst: int) -> List[int]:
+        """The full ``src -> dst`` route as a list of directed-link ids.
+
+        The cycle-accurate NoC calls this once per injected message and then
+        never consults the policy again while the message is in flight, so
+        subclasses should make it fast.  This generic fallback walks
+        :meth:`next_hop`; the dimension-ordered policies override it with
+        pure arithmetic-progression construction.
+        """
+        table = self.link_table
+        lids: List[int] = []
+        cur = src
+        guard = self.config.num_cells * 4 + 4
+        while cur != dst:
+            nxt = self.next_hop(cur, dst)
+            lids.append(table.lid(cur, nxt))
+            cur = nxt
+            if len(lids) > guard:  # pragma: no cover - defensive
+                raise RuntimeError(f"routing loop detected {src}->{dst}")
+        return lids
+
+    def route_lids_cached(self, src: int, dst: int) -> List[int]:
+        """Memoised :meth:`route_lids`; the returned list must not be mutated.
+
+        The NoC injects the same (src, dst) pairs over and over (hot vertices
+        keep exchanging messages), so caching the link-id route turns the
+        per-injection routing work into one dict probe.
+        """
+        key = src * self._num_cells + dst
+        cache = self._route_cache
+        route = cache.get(key)
+        if route is None:
+            if len(cache) >= self._route_cache_limit:
+                # Epoch reset: cheaper than LRU bookkeeping on every hit,
+                # and the hot pairs repopulate within a few cycles.
+                cache.clear()
+            route = cache[key] = self.route_lids(src, dst)
+        return route
 
     # ------------------------------------------------------------------
     def route(self, src: int, dst: int) -> List[int]:
@@ -90,6 +221,30 @@ class YXRouting(RoutingPolicy):
             return current + 1 if dx > cx else current - 1
         return current
 
+    def route_lids(self, src: int, dst: int) -> List[int]:
+        # Both legs of a dimension-ordered route are arithmetic progressions
+        # in link-id space (stride 4*width vertically, 4 horizontally), so the
+        # whole route materialises from two range() calls with no per-hop
+        # Python work.  Direction offsets: N=0, W=1, E=2, S=3.
+        sx, sy = self._coords[src]
+        dx, dy = self._coords[dst]
+        w = self._width
+        w4 = w * 4
+        if dy > sy:
+            route = list(range(src * 4 + 3, (src + (dy - sy) * w) * 4 + 3, w4))
+            cur = src + (dy - sy) * w
+        elif dy < sy:
+            route = list(range(src * 4, (src - (sy - dy) * w) * 4, -w4))
+            cur = src - (sy - dy) * w
+        else:
+            route = []
+            cur = src
+        if dx > sx:
+            route += range(cur * 4 + 2, (cur + dx - sx) * 4 + 2, 4)
+        elif dx < sx:
+            route += range(cur * 4 + 1, (cur - (sx - dx)) * 4 + 1, -4)
+        return route
+
 
 class XYRouting(RoutingPolicy):
     """Dimension-ordered routing: move in X (horizontal) first, then Y."""
@@ -105,6 +260,27 @@ class XYRouting(RoutingPolicy):
         if cy != dy:
             return current + self._width if dy > cy else current - self._width
         return current
+
+    def route_lids(self, src: int, dst: int) -> List[int]:
+        # Mirror of YXRouting.route_lids: horizontal leg first, then vertical.
+        sx, sy = self._coords[src]
+        dx, dy = self._coords[dst]
+        w = self._width
+        w4 = w * 4
+        if dx > sx:
+            route = list(range(src * 4 + 2, (src + dx - sx) * 4 + 2, 4))
+            cur = src + dx - sx
+        elif dx < sx:
+            route = list(range(src * 4 + 1, (src - (sx - dx)) * 4 + 1, -4))
+            cur = src - (sx - dx)
+        else:
+            route = []
+            cur = src
+        if dy > sy:
+            route += range(cur * 4 + 3, (cur + (dy - sy) * w) * 4 + 3, w4)
+        elif dy < sy:
+            route += range(cur * 4, (cur - (sy - dy) * w) * 4, -w4)
+        return route
 
 
 _POLICIES = {"yx": YXRouting, "xy": XYRouting}

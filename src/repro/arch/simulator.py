@@ -18,7 +18,7 @@ about actions, vertices or graphs.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.arch.cell import ComputeCell, Task
 from repro.arch.config import ChipConfig
@@ -32,6 +32,10 @@ from repro.arch.trace import TraceRecorder
 
 #: Converts an arrived message into a task for its destination cell.
 Dispatcher = Callable[[ComputeCell, Message], Task]
+
+#: Executes an arrived message directly on its destination cell, returning
+#: the ``(instruction_cost, outgoing_messages)`` pair a Task.run would.
+Executor = Callable[[ComputeCell, Message], "tuple"]
 
 
 class Simulator:
@@ -56,6 +60,8 @@ class Simulator:
     ) -> None:
         self.config = config
         self.routing: RoutingPolicy = make_routing(config)
+        #: directed-link id table shared by routing, NoC and statistics.
+        self.link_table = self.routing.link_table
         self.stats = SimStats(num_cells=config.num_cells)
         self.noc: BaseNoC = build_noc(config, self.stats, self.routing)
         self.io = IOSystem(config)
@@ -64,19 +70,38 @@ class Simulator:
             for cc_id in range(config.num_cells)
         ]
         self.dispatcher = dispatcher
+        self.executor: Optional[Executor] = None
         self.trace = TraceRecorder(config, sample_every=trace_every)
+        self._trace_enabled = self.trace.enabled
         self.cycle = 0
-        #: cells that may have work; maintained incrementally for speed.
-        self._active_cells: Set[int] = set()
+        #: Cells that may have work, in the order they became active, with a
+        #: sweep-stamp array as the membership test (_cell_stamp[cc] ==
+        #: _cell_sweep iff cc is on the list).  An insertion-ordered list
+        #: plus stamps replaces the former hash set: it is faster to scan
+        #: and append, and it makes the cell service order an explicit,
+        #: documented part of the deterministic schedule instead of an
+        #: artefact of hash-set iteration order.
+        self._active_cells: List[int] = []
+        self._cell_stamp: List[int] = [0] * config.num_cells
+        self._cell_sweep = 1
         #: scratch buffers reused across step() calls so the hot loop does
-        #: not allocate a fresh set and list every simulated cycle.  The
-        #: still-active set is rebuilt by insertion in iteration order (and
-        #: ping-pong swapped with the live set) rather than pruned in place:
-        #: in-place pruning preserves the stale hash-table layout and drifts
-        #: the set's iteration order — and with it the whole message
-        #: schedule — away from the reference behaviour.
+        #: not allocate fresh containers every simulated cycle; the
+        #: still-active list is rebuilt each cycle and ping-pong swapped.
         self._cells_active_this_cycle: List[int] = []
-        self._still_active_scratch: Set[int] = set()
+        self._still_active_scratch: List[int] = []
+        #: Busy-cell parking (timing wheel).  A cell that starts an action of
+        #: cost k spends k-1 further cycles decrementing its instruction
+        #: counter with no observable side effect until the final decrement
+        #: flushes its held messages.  Instead of stepping such a cell every
+        #: cycle, the simulator parks it and wakes it on the flush cycle;
+        #: parked cells are counted as active through _parked_count and
+        #: their skipped decrements are accrued to the cell's lifetime
+        #: counters when they wake.  Disabled while tracing, which needs the
+        #: exact per-cycle active id lists.
+        self._parked = bytearray(config.num_cells)
+        self._parked_count = 0
+        self._wake_buckets: Dict[int, List[Tuple[int, int]]] = {}
+        self._fast_park = trace_every <= 0
         #: hooks run at the end of every cycle (used by terminators/monitors).
         self._cycle_hooks: List[Callable[[int], None]] = []
 
@@ -87,6 +112,19 @@ class Simulator:
         """Install the message-to-task dispatcher (done by the runtime)."""
         self.dispatcher = dispatcher
 
+    def set_executor(self, executor: Executor) -> None:
+        """Install a direct message executor (fast path for dispatch).
+
+        With an executor installed, delivered messages are queued on their
+        destination cell as-is and executed in place when the cell's turn
+        comes, skipping the per-message Task-and-closure allocation of the
+        dispatcher path.  Scheduling is identical: the message occupies the
+        same task-queue slot and runs on the same cycle either way.  The
+        diffusive runtime installs this; a plain dispatcher (used by tests
+        and custom harnesses) keeps working when no executor is set.
+        """
+        self.executor = executor
+
     def add_cycle_hook(self, hook: Callable[[int], None]) -> None:
         """Register a callback invoked with the cycle number after each cycle."""
         self._cycle_hooks.append(hook)
@@ -96,8 +134,22 @@ class Simulator:
         return self.cells[cc_id]
 
     def wake(self, cc_id: int) -> None:
-        """Mark a cell as potentially having work (task enqueued externally)."""
-        self._active_cells.add(cc_id)
+        """Mark a cell as potentially having work (task enqueued externally).
+
+        Parked cells are left alone: their wake-bucket entry re-activates
+        them on the cycle their in-progress action completes.
+        """
+        if not self._parked[cc_id] and self._cell_stamp[cc_id] != self._cell_sweep:
+            self._cell_stamp[cc_id] = self._cell_sweep
+            self._active_cells.append(cc_id)
+
+    def track_link_busy(self) -> None:
+        """Enable per-link busy accounting (see ``SimStats.link_utilization``).
+
+        Adds a small per-cycle cost, so it is off by default; call before
+        running when link-level congestion attribution is wanted.
+        """
+        self.stats.enable_link_accounting(self.link_table.num_links)
 
     # ------------------------------------------------------------------
     # Injection helpers (used by the runtime for host-driven setup)
@@ -109,7 +161,7 @@ class Simulator:
     def enqueue_task(self, cc_id: int, task: Task) -> None:
         """Directly enqueue a task on a cell (host-side setup, tests)."""
         self.cells[cc_id].enqueue_task(task)
-        self._active_cells.add(cc_id)
+        self.wake(cc_id)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -126,18 +178,50 @@ class Simulator:
             return False
         if not self.noc.is_empty:
             return False
+        if self._parked_count:
+            return False
         cells = self.cells
+        # Direct state reads instead of the has_work property: this runs
+        # once per cycle over the active set, where the property's function
+        # call is measurable.
         for cc_id in self._active_cells:
-            if cells[cc_id].has_work:
+            cell = cells[cc_id]
+            if cell._remaining_instructions > 0 or cell.staging or cell.task_queue:
                 return False
         return True
 
     def step(self) -> bool:
         """Advance the chip by one cycle.  Returns True if any work happened."""
-        if self.dispatcher is None:
+        if self.dispatcher is None and self.executor is None:
             raise RuntimeError("no dispatcher installed; the runtime must call set_dispatcher")
         cycle = self.cycle
         did_work = False
+
+        noc = self.noc
+        noc_inject = noc.inject
+        parked = self._parked
+        cells = self.cells
+
+        # 0. Wake parked cells whose instruction burn completes this cycle:
+        # accrue the decrements they skipped while parked and hand them back
+        # to the normal loop for the final decrement that flushes their held
+        # messages (their _remaining_instructions was left at 1).
+        woken = self._wake_buckets.pop(cycle, None)
+        if woken is not None:
+            for cc_id, skipped in woken:
+                parked[cc_id] = 0
+                cell = cells[cc_id]
+                cell.instructions_executed += skipped
+                cell.busy_cycles += skipped
+                self.wake(cc_id)
+            self._parked_count -= len(woken)
+
+        # Parked cells burning instructions THIS cycle: snapshot before
+        # phase 4 parks new ones (a cell parked this cycle already counted
+        # through its real step; a cell woken this cycle counts the same way).
+        parked_this_cycle = self._parked_count
+        if parked_this_cycle:
+            did_work = True
 
         # 1. IO cells read one item each and create action messages.
         io_msgs = self.io.step(cycle)
@@ -145,51 +229,135 @@ class Simulator:
             did_work = True
             self.stats.io_injections += len(io_msgs)
             for msg in io_msgs:
-                self.noc.inject(msg, cycle)
+                noc_inject(msg, cycle)
 
         # 2. NoC advances in-flight messages by one hop.
-        delivered = self.noc.advance(cycle)
+        delivered = noc.advance(cycle)
         if delivered:
             did_work = True
 
-        # 3. Dispatch arrivals into tasks on their destination cells.
+        # 3. Dispatch arrivals to their destination cells.  With an executor
+        # installed the message itself takes the task-queue slot and runs in
+        # place at the cell's turn; otherwise the dispatcher wraps it in a
+        # Task now.  Work for parked cells just queues; the wake bucket
+        # re-activates the cell.
+        executor = self.executor
         dispatcher = self.dispatcher
-        for msg in delivered:
-            cell = self.cells[msg.dst]
-            cell.enqueue_task(dispatcher(cell, msg))
-            self._active_cells.add(msg.dst)
+        active_cells = self._active_cells
+        cell_stamp = self._cell_stamp
+        sweep = self._cell_sweep
+        if executor is not None:
+            for msg in delivered:
+                dst = msg.dst
+                cells[dst].task_queue.append(msg)
+                if not parked[dst] and cell_stamp[dst] != sweep:
+                    cell_stamp[dst] = sweep
+                    active_cells.append(dst)
+        else:
+            for msg in delivered:
+                dst = msg.dst
+                cell = cells[dst]
+                cell.task_queue.append(dispatcher(cell, msg))
+                if not parked[dst] and cell_stamp[dst] != sweep:
+                    cell_stamp[dst] = sweep
+                    active_cells.append(dst)
 
-        # 4. Every cell with work performs one operation.  The scratch
-        # buffers are reused so steady-state cycles allocate no fresh
-        # containers here.
+        # 4. Every cell with work performs one operation, in activation
+        # order.  The scratch buffers are reused so steady-state cycles
+        # allocate no fresh containers here.  The loop body is an inline of
+        # ``ComputeCell.step`` (kept in sync with cell.py, which remains the
+        # reference semantics and the API for direct users): this loop runs
+        # once per active cell per cycle, and at that rate the method call
+        # and the ``has_work`` property are measurable.  Each cell is
+        # re-stamped while it runs (so a same-cell task spawned mid-step
+        # cannot re-append it) and the stamp is retired if the cell goes
+        # idle.
         active_this_cycle = self._cells_active_this_cycle
         active_this_cycle.clear()
+        active_append = active_this_cycle.append
         still_active = self._still_active_scratch
         still_active.clear()
-        cells = self.cells
-        for cc_id in self._active_cells:
+        still_active_append = still_active.append
+        fast_park = self._fast_park
+        sweep = self._cell_sweep = self._cell_sweep + 1
+        for cc_id in active_cells:
             cell = cells[cc_id]
-            op = cell.step()
-            if op is not None:
-                active_this_cycle.append(cc_id)
+            cell_stamp[cc_id] = sweep
+            remaining = cell._remaining_instructions
+            if remaining > 0:
+                # Finish the instructions of the action in progress.
+                remaining -= 1
+                cell._remaining_instructions = remaining
+                cell.instructions_executed += 1
+                cell.busy_cycles += 1
+                if remaining == 0 and cell._held_messages:
+                    cell.staging.extend(cell._held_messages)
+                    cell._held_messages = []
+                active_append(cc_id)
                 did_work = True
-                if op == "stage":
-                    staged = cell.pop_staged()
-                    staged.created_cycle = cycle
-                    self.noc.inject(staged, cycle)
-            if cell.has_work:
-                still_active.add(cc_id)
+            elif cell.staging:
+                # Drain the output staging queue (one message per cycle).
+                cell.messages_staged += 1
+                cell.busy_cycles += 1
+                staged = cell.staging.popleft()
+                staged.created_cycle = cycle
+                noc_inject(staged, cycle)
+                active_append(cc_id)
+                did_work = True
+            elif cell.task_queue:
+                # Start the next queued task (a raw message under the
+                # executor fast path, a Task otherwise).
+                item = cell.task_queue.popleft()
+                if item.__class__ is Message:
+                    cost, messages = executor(cell, item)
+                else:
+                    cost, messages = item.run()
+                cell.tasks_executed += 1
+                cell.instructions_executed += 1
+                cell.busy_cycles += 1
+                remaining = cost - 1
+                active_append(cc_id)
+                did_work = True
+                if remaining <= 0:
+                    if messages:
+                        cell.staging.extend(messages)
+                else:
+                    cell._held_messages = list(messages)
+                    # Parking pays off from 2 skipped decrements up; a
+                    # 1-skip park costs more in bucket traffic than it saves.
+                    if fast_park and remaining >= 3:
+                        # Park: the next remaining-1 cycles are pure
+                        # decrements; skip them and wake on the flush cycle.
+                        cell._remaining_instructions = 1
+                        parked[cc_id] = 1
+                        cell_stamp[cc_id] = 0
+                        self._parked_count += 1
+                        bucket = self._wake_buckets.get(cycle + remaining)
+                        if bucket is None:
+                            self._wake_buckets[cycle + remaining] = bucket = []
+                        bucket.append((cc_id, remaining - 1))
+                        continue
+                    cell._remaining_instructions = remaining
+            if cell._remaining_instructions > 0 or cell.staging or cell.task_queue:
+                still_active_append(cc_id)
+            else:
+                cell_stamp[cc_id] = 0
         self._active_cells, self._still_active_scratch = (
             still_active, self._active_cells,
         )
 
-        # 5. Record statistics and traces; run hooks.
-        self.stats.record_cycle(
-            active_cells=len(active_this_cycle),
-            in_flight=self.noc.in_flight,
-            delivered=len(delivered),
-        )
-        if self.trace.enabled:
+        # 5. Record statistics and traces; run hooks.  Parked cells execute
+        # one (virtual) instruction per parked cycle, so they count as
+        # active.  (Inline of stats.record_cycle, which stays the reference
+        # form for other callers.)
+        stats = self.stats
+        stats.cycles += 1
+        stats.active_cells_per_cycle.append(len(active_this_cycle) + parked_this_cycle)
+        stats.messages_in_flight_per_cycle.append(noc.in_flight)
+        ndelivered = len(delivered)
+        stats.deliveries_per_cycle.append(ndelivered)
+        stats.messages_delivered += ndelivered
+        if self._trace_enabled:
             self.trace.maybe_record(cycle, active_this_cycle)
         for hook in self._cycle_hooks:
             hook(cycle)

@@ -13,7 +13,7 @@ model of :mod:`repro.arch.energy`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,6 +42,11 @@ class SimStats:
     messages_in_flight_per_cycle: List[int] = field(default_factory=list)
     deliveries_per_cycle: List[int] = field(default_factory=list)
 
+    # Optional per-link busy counters, indexed by directed-link id (see
+    # repro.arch.routing.LinkTable).  None until enabled: the cycle NoC only
+    # pays the per-cycle accounting cost when a caller asked for it.
+    link_busy_per_link: Optional[List[int]] = None
+
     # Named phase boundaries, e.g. one per streaming increment.
     phase_marks: Dict[str, int] = field(default_factory=dict)
 
@@ -57,6 +62,38 @@ class SimStats:
     def mark_phase(self, name: str) -> None:
         """Record the current cycle as the start of a named phase."""
         self.phase_marks[name] = self.cycles
+
+    # ------------------------------------------------------------------
+    # Per-link accounting
+    # ------------------------------------------------------------------
+    def enable_link_accounting(self, num_links: int) -> None:
+        """Allocate per-link busy counters (one slot per directed-link id).
+
+        Until this is called the cycle-accurate NoC only maintains the
+        aggregate :attr:`link_busy` counter; afterwards every busy link-cycle
+        is also attributed to its link id.
+        """
+        self.link_busy_per_link = [0] * num_links
+
+    def link_utilization(self, table) -> Dict[Tuple[int, int], int]:
+        """Busy-cycle counts keyed by directed link ``(src_cell, dst_cell)``.
+
+        ``table`` is the :class:`~repro.arch.routing.LinkTable` that named
+        the link ids.  Links that were never busy are omitted.  Empty when
+        per-link accounting was not enabled.
+        """
+        if self.link_busy_per_link is None:
+            return {}
+        return {
+            table.endpoints(lid): busy
+            for lid, busy in enumerate(self.link_busy_per_link)
+            if busy
+        }
+
+    def hottest_links(self, table, k: int = 10) -> List[Tuple[Tuple[int, int], int]]:
+        """The ``k`` busiest directed links as ``((u, v), busy_cycles)`` pairs."""
+        util = self.link_utilization(table)
+        return sorted(util.items(), key=lambda item: (-item[1], item[0]))[:k]
 
     # ------------------------------------------------------------------
     # Derived series

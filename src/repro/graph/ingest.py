@@ -29,6 +29,12 @@ from repro.graph.rpvo import EdgeSlot, VertexBlock
 if TYPE_CHECKING:  # pragma: no cover
     from repro.graph.graph import DynamicGraph
 
+#: Costs resolved once at import; per-invocation handlers charge these
+#: constants instead of re-calling action_cost in the hot path.
+_COST_INSERT = action_cost("insert")
+_COST_COMPARE = action_cost("compare")
+_COST_STATE_UPDATE = action_cost("state_update")
+
 #: The registered name of the ingestion action (paper: ``insert-edge-action``).
 INSERT_EDGE_ACTION = "insert-edge-action"
 
@@ -61,9 +67,12 @@ class EdgeIngestor:
             # keeps a compact mirror of destination ids for analytics queries.
             block.mirror.append(slot.dst_vid)
 
-        if block.has_room:
-            block.append_edge(slot)
-            ctx.charge(action_cost("insert"))
+        # Inline of block.has_room / block.append_edge: this handler runs
+        # once per streamed edge, and the room check was just made.
+        if len(block.edges) < block.capacity:
+            block.edges.append(slot)
+            # inline of ctx.charge(_COST_INSERT); constant is positive
+            ctx._extra_cost += _COST_INSERT
             self.edges_inserted += 1
             algorithm = graph.algorithm
             if algorithm is not None and not graph.ingest_only:
@@ -71,7 +80,7 @@ class EdgeIngestor:
             return
 
         # Edge list full: forward into the ghost hierarchy.
-        ctx.charge(action_cost("compare"))
+        ctx.charge(_COST_COMPARE)
         slot_index = block.ghost_slot_for(slot.dst_vid)
         future = block.ghosts[slot_index]
 
@@ -97,7 +106,7 @@ class EdgeIngestor:
                                 future, slot: EdgeSlot) -> None:
         """Park this insertion on the pending ghost future (Figure 4, state 2)."""
         self.future_enqueues += 1
-        ctx.charge(action_cost("state_update"))
+        ctx.charge(_COST_STATE_UPDATE)
 
         def resume(resume_ctx: ActionContext) -> None:
             # Runs after the future is fulfilled; recursively propagate the
@@ -138,7 +147,7 @@ class EdgeIngestor:
             # address; fulfil the future and release its dependent tasks.
             block.ghost_addrs[slot_index] = address
             released = future.fulfil(address)
-            cont_ctx.charge(action_cost("state_update"))
+            cont_ctx.charge(_COST_STATE_UPDATE)
             for closure in released:
                 cont_ctx.schedule_local(closure, label="future-release")
 

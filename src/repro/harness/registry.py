@@ -197,6 +197,27 @@ def _fidelity_sweep() -> List[Scenario]:
     ]
 
 
+def _noc_sweep() -> List[Scenario]:
+    """NoC model comparison grid: cycle-accurate vs latency x mesh sizes.
+
+    The workload (one fixed streamed graph, ingest + BFS) is held constant
+    while the mesh grows, so stored records expose how link contention
+    (cycle model) versus pure Manhattan delay (latency model) scales with
+    chip size — the sweep backing the NoC fast-path speedup measurements.
+    """
+    dataset = DatasetSpec(vertices=160, edges=1280, sampling="edge", seed=SUITE_SEED)
+    return [
+        Scenario(
+            name=f"noc-{fidelity}-{side}x{side}-bfs",
+            dataset=dataset,
+            chip=ChipSpec(side=side, fidelity=fidelity),
+            algorithm="bfs",
+        )
+        for fidelity in ("cycle", "latency")
+        for side in (8, 16, 32)
+    ]
+
+
 register_suite("tiny", "2-scenario smoke suite (seconds; used by CI)", _tiny_suite)
 register_suite(
     "paper-tiny",
@@ -216,3 +237,6 @@ register_suite("algorithms", "all six algorithms + ingest on one streamed graph"
                _algorithm_sweep)
 register_suite("fidelity-sweep", "cycle vs latency NoC fidelity (BFS workload)",
                _fidelity_sweep)
+register_suite("noc-sweep",
+               "cycle vs latency NoC x {8,16,32}-wide meshes (6 scenarios)",
+               _noc_sweep)

@@ -30,6 +30,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 ActionHandler = Callable[..., None]
 
 
+_ACTION_COSTS = {
+    "edge_scan": 1,
+    "insert": 2,
+    "compare": 1,
+    "alloc": 2,
+    "state_update": 1,
+}
+
+
 def action_cost(kind: str, units: int = 1) -> int:
     """Conventional instruction costs for common action work items.
 
@@ -42,14 +51,8 @@ def action_cost(kind: str, units: int = 1) -> int:
     * ``"alloc"`` -- initialising one word of newly allocated memory,
     * ``"state_update"`` -- writing one field of vertex state.
     """
-    table = {
-        "edge_scan": 1,
-        "insert": 2,
-        "compare": 1,
-        "alloc": 2,
-        "state_update": 1,
-    }
-    return table[kind] * max(1, units)
+    cost = _ACTION_COSTS[kind]
+    return cost if units <= 1 else cost * units
 
 
 class ActionRegistry:
@@ -97,8 +100,10 @@ class ActionContext:
         self.device = device
         self.cell = cell
         self._extra_cost = 0
-        self._messages: List[Message] = []
-        self._spawned_tasks: List[Tuple[int, Task]] = []
+        # Lazily created: one context is allocated per executed task, and
+        # many tasks neither propagate nor spawn.
+        self._messages: Optional[List[Message]] = None
+        self._spawned_tasks: Optional[List[Tuple[int, Task]]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -153,20 +158,29 @@ class ActionContext:
         instruction cycles have been charged; each propagated message also
         costs the cell one staging cycle (enforced by the compute cell).
         """
-        registry = self.device.registry
-        if action not in registry:
+        device = self.device
+        registry = device.registry
+        # Sibling-class private access: propagate runs once per diffused
+        # message, so the membership test and size lookup go straight to the
+        # registry dicts instead of through its method wrappers.
+        if action not in registry._handlers:
             raise KeyError(f"cannot propagate unregistered action {action!r}")
-        dst = target.cc_id if target is not None else self.cc_id
+        cc_id = self.cell.cc_id
         msg = Message(
-            src=self.cc_id,
-            dst=dst,
+            src=cc_id,
+            dst=target.cc_id if target is not None else cc_id,
             action=action,
             target=target,
             operands=operands,
-            size_words=size_words if size_words is not None else registry.size_words(action),
+            size_words=size_words if size_words is not None else registry._sizes.get(action, 2),
         )
-        self._messages.append(msg)
-        self.device.terminator_hook_sent()
+        # Outstanding-work accounting is batched in finish(): the handler
+        # body runs atomically, so the terminator cannot observe the interim.
+        msgs = self._messages
+        if msgs is None:
+            self._messages = [msg]
+        else:
+            msgs.append(msg)
         return msg
 
     def schedule_local(self, fn: Callable[["ActionContext"], None], label: str = "local") -> None:
@@ -177,8 +191,11 @@ class ActionContext:
         time like any other action.
         """
         task = self.device.make_local_task(self.cell, fn, label=label)
-        self._spawned_tasks.append((self.cc_id, task))
-        self.device.terminator_hook_sent()
+        spawned = self._spawned_tasks
+        if spawned is None:
+            self._spawned_tasks = [(self.cc_id, task)]
+        else:
+            spawned.append((self.cc_id, task))
 
     # ------------------------------------------------------------------
     # Continuations (call/cc) and remote allocation
@@ -203,8 +220,32 @@ class ActionContext:
 
     # ------------------------------------------------------------------
     def finish(self) -> Tuple[int, List[Message]]:
-        """Finalize the invocation: flush spawned tasks, return (cost, messages)."""
-        for cc_id, task in self._spawned_tasks:
-            self.device.simulator.enqueue_task(cc_id, task)
-        self._spawned_tasks = []
-        return 1 + self._extra_cost, self._messages
+        """Finalize the invocation: flush spawned tasks, return (cost, messages).
+
+        The terminator's sent-count is credited here in one batch (messages
+        plus spawned tasks) rather than per propagate call: the handler body
+        runs atomically inside one task, so no cycle boundary can observe
+        the difference.
+        """
+        device = self.device
+        spawned = self._spawned_tasks
+        sent = 0
+        if spawned is not None:
+            enqueue = device.simulator.enqueue_task
+            for cc_id, task in spawned:
+                enqueue(cc_id, task)
+            sent = len(spawned)
+            self._spawned_tasks = None
+        msgs = self._messages
+        if msgs is not None:
+            sent += len(msgs)
+        if sent:
+            # Inline of device.terminator_hook_sent / Terminator.on_sent:
+            # one finish per executed task makes the wrappers measurable.
+            terminator = device._terminator
+            if terminator is not None:
+                terminator.outstanding += sent
+                terminator.total_sent += sent
+            else:
+                device._pre_run_sends += sent
+        return 1 + self._extra_cost, msgs if msgs is not None else []

@@ -66,9 +66,12 @@ class AMCCADevice:
         self.registry = ActionRegistry()
         self.simulator = Simulator(self.config, trace_every=trace_every)
         self.simulator.set_dispatcher(self._dispatch)
+        self.simulator.set_executor(self._execute_message)
         self.energy_model = energy_model or EnergyModel()
         self.continuations = ContinuationManager(self)
         self.continuations.install_system_actions()
+        #: context reused by _execute_message (see its docstring).
+        self._pooled_ctx = ActionContext(self, self.simulator.cells[0])
         self._terminator: Optional[Terminator] = None
         # Work injected by the host before run() installs a terminator; the
         # count is handed to the terminator when the run starts so its books
@@ -167,11 +170,11 @@ class AMCCADevice:
     # ------------------------------------------------------------------
     # Terminator integration
     # ------------------------------------------------------------------
-    def terminator_hook_sent(self) -> None:
+    def terminator_hook_sent(self, count: int = 1) -> None:
         if self._terminator is not None:
-            self._terminator.on_sent()
+            self._terminator.on_sent(count)
         else:
-            self._pre_run_sends += 1
+            self._pre_run_sends += count
 
     def terminator_hook_completed(self) -> None:
         if self._terminator is not None:
@@ -182,20 +185,42 @@ class AMCCADevice:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
+    def _execute_message(self, cell: ComputeCell, msg: Message) -> Tuple[int, List[Message]]:
+        """Run an arrived message's action in place (simulator executor hook).
+
+        This is the hot path: one call per delivered message, with the
+        terminator bookkeeping inlined and the ActionContext reused across
+        invocations (tasks run strictly sequentially and nothing retains a
+        context past finish(), so one pooled instance suffices).
+        """
+        handler = self.registry._handlers[msg.action]
+        ctx = self._pooled_ctx
+        ctx.cell = cell
+        ctx._extra_cost = 0
+        ctx._messages = None
+        ctx._spawned_tasks = None
+        target = msg.target
+        target_obj = None
+        if target is not None and target.obj_id >= 0:
+            # Direct local-memory read; the simulator only ever hands a
+            # message to the cell that owns its target address.
+            target_obj = cell.memory[target.obj_id]
+        handler(ctx, target_obj, *msg.operands)
+        terminator = self._terminator
+        if terminator is not None:
+            terminator.on_completed()
+        elif self._pre_run_sends > 0:
+            self._pre_run_sends -= 1
+        return ctx.finish()
+
     def _dispatch(self, cell: ComputeCell, msg: Message) -> Task:
-        """Convert an arrived message into a runnable task (simulator hook)."""
-        handler = self.registry.get(msg.action)
+        """Convert an arrived message into a runnable task.
 
-        def run() -> Tuple[int, List[Message]]:
-            ctx = ActionContext(self, cell)
-            target_obj = None
-            if msg.target is not None and msg.target.obj_id >= 0:
-                target_obj = cell.get(msg.target)
-            handler(ctx, target_obj, *msg.operands)
-            self.terminator_hook_completed()
-            return ctx.finish()
-
-        return Task(run, label=msg.action)
+        Kept as the Dispatcher-protocol form of :meth:`_execute_message`
+        for callers that need a Task object; the simulator itself uses the
+        executor fast path.
+        """
+        return Task(lambda: self._execute_message(cell, msg), label=msg.action)
 
     def make_local_task(
         self, cell: ComputeCell, fn: Callable[[ActionContext], None], label: str = "local"
@@ -235,9 +260,12 @@ class AMCCADevice:
             sim.stats.mark_phase(phase)
 
         def finished() -> bool:
-            if not sim.is_quiescent:
+            # Cheapest check first: while the diffusion has outstanding
+            # work the O(1) counter saves the active-cell scan of
+            # is_quiescent every cycle.
+            if terminator is not None and terminator.outstanding:
                 return False
-            return terminator is None or terminator.quiet
+            return sim.is_quiescent
 
         cycles = sim.run(max_cycles=max_cycles, until=finished)
         if terminator is not None and finished():

