@@ -10,7 +10,7 @@ and energy.
 
 import pytest
 
-from conftest import BENCH_SCALE, BENCH_SEED, CHIP_50K, scaled
+from conftest import BENCH_SCALE, BENCH_SEED, CHIP_50K
 
 from repro.algorithms.bfs import StreamingBFS
 from repro.analysis.tables import render_table

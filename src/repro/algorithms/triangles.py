@@ -20,7 +20,7 @@ spread over ghost blocks.
 
 from __future__ import annotations
 
-from typing import Dict, List, TYPE_CHECKING
+from typing import Dict, TYPE_CHECKING
 
 import networkx as nx
 

@@ -10,7 +10,7 @@ dumped to ``.npz`` for external plotting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

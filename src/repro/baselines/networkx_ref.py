@@ -9,7 +9,7 @@ algorithm.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 import networkx as nx
 

@@ -21,13 +21,26 @@ Reproduce Figure 6/7 (cell activation) and print an ASCII plot::
 Run a whole scenario suite in parallel with cached results::
 
     repro suite run --preset paper-tiny -j 4
+    repro suite run --preset paper-tiny -j 4 --shard-increments 4 --timeout 120
     repro suite list
     repro suite show --preset paper-tiny
+
+Compare stores and maintain them::
+
+    repro suite diff results/before.jsonl results/after.jsonl
+    repro store compact results/suite.jsonl
+    repro store gc results/suite.jsonl
+
+Track simulator throughput with a machine-readable report::
+
+    repro bench --json BENCH_local.json
+    repro bench --baseline benchmarks/BENCH_baseline.json --tolerance 0.25
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -153,6 +166,9 @@ def cmd_suite_run(args: argparse.Namespace) -> int:
         store=store,
         force=args.force,
         progress=lambda line: print(line, flush=True),
+        shard_increments=args.shard_increments,
+        timeout=args.timeout,
+        expect_cached=args.expect_cached,
     )
     print(
         f"\nsuite {args.preset!r}: {len(report.outcomes)} scenarios, "
@@ -161,9 +177,16 @@ def cmd_suite_run(args: argparse.Namespace) -> int:
     )
     if store is not None:
         print(f"result store: {store.path} ({len(store)} records)")
-    print()
-    print(render_suite_report(report.records, tables=args.tables))
-    return 0
+    if report.failures:
+        for outcome in report.failures:
+            line = f"FAILED [{outcome.status}] {outcome.scenario.name}"
+            if outcome.error:
+                line += f"\n{outcome.error.rstrip()}"
+            print(line, file=sys.stderr)
+    if report.records:
+        print()
+        print(render_suite_report(report.records, tables=args.tables))
+    return 1 if report.failures else 0
 
 
 def cmd_suite_show(args: argparse.Namespace) -> int:
@@ -194,6 +217,136 @@ def cmd_suite_show(args: argparse.Namespace) -> int:
     if not records:
         return 1
     print(render_suite_report(records, tables=args.tables))
+    return 0
+
+
+def _require_store_paths(*paths: str) -> bool:
+    """Reject store paths that do not exist (ResultStore would silently
+    treat them as empty, turning a typo into a vacuous pass)."""
+    ok = True
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"no such result store: {path}", file=sys.stderr)
+            ok = False
+    return ok
+
+
+def cmd_suite_diff(args: argparse.Namespace) -> int:
+    from repro.harness import ResultStore, diff_stores, render_store_diff
+
+    if not _require_store_paths(args.store_a, args.store_b):
+        return 2
+    try:
+        store_a = ResultStore(args.store_a)
+        store_b = ResultStore(args.store_b)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    diff = diff_stores(store_a, store_b)
+    print(f"comparing {store_a.path} ({len(store_a)} records) "
+          f"vs {store_b.path} ({len(store_b)} records)\n")
+    print(render_store_diff(diff, label_a=str(args.store_a),
+                            label_b=str(args.store_b)))
+    # diff-like exit status: 0 = stores agree, 1 = they differ.
+    return 0 if diff.identical else 1
+
+
+def _print_dropped(records, verb: str) -> None:
+    names = ", ".join(
+        f"{r.get('name') or r.get('spec_hash', '?')[:12]}"
+        f" (v{r.get('repro_version', '?')})"
+        for r in records
+    )
+    print(f"{verb} {len(records)} record(s): {names}" if records
+          else f"{verb} nothing; store already clean")
+
+
+def cmd_store_compact(args: argparse.Namespace) -> int:
+    from repro.harness import ResultStore
+
+    if not _require_store_paths(args.store):
+        return 2
+    try:
+        store = ResultStore(args.store)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    dropped = store.compact()
+    _print_dropped(dropped, "compacted away")
+    print(f"{store.path}: {len(store)} record(s) kept")
+    return 0
+
+
+def cmd_store_gc(args: argparse.Namespace) -> int:
+    from repro import __version__
+    from repro.harness import ResultStore
+
+    if not _require_store_paths(args.store):
+        return 2
+    try:
+        store = ResultStore(args.store)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    dropped = store.gc()
+    _print_dropped(dropped, f"collected (not version {__version__})")
+    print(f"{store.path}: {len(store)} record(s) kept")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness import get_suite
+    from repro.harness.bench import (
+        bench_payload,
+        compare_bench,
+        load_bench,
+        run_bench,
+        write_bench,
+    )
+
+    try:
+        scenarios = get_suite(args.suite)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    results = run_bench(scenarios, reps=args.reps,
+                        progress=lambda line: print(line, flush=True))
+    from repro.analysis.tables import render_table
+    print()
+    print(render_table([
+        {
+            "Workload": r.name,
+            "Cycles": r.total_cycles,
+            "Median cycles/sec": f"{r.median_cycles_per_sec:,.0f}",
+            "Reps": len(r.sim_wall_s),
+        }
+        for r in results
+    ]))
+    payload = bench_payload(results, tag=args.tag, suite=args.suite,
+                            reps=args.reps)
+    if args.json:
+        path = write_bench(args.json, payload)
+        print(f"\nwrote {path}")
+    if args.baseline is None:
+        return 0
+
+    try:
+        baseline = load_bench(args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    comparison = compare_bench(payload, baseline, tolerance=args.tolerance)
+    print(f"\nvs baseline {args.baseline} "
+          f"(tolerance {100 * args.tolerance:.0f}%):")
+    for row in comparison.rows:
+        ratio = "" if row.ratio is None else f" ({row.ratio:.2f}x baseline)"
+        detail = f" - {row.detail}" if row.detail else ""
+        print(f"  [{row.status:<14}] {row.name}{ratio}{detail}")
+    if not comparison.passed:
+        print(f"\nFAILED: {len(comparison.failures)} workload(s) regressed",
+              file=sys.stderr)
+        return 1
+    print("\nbench comparison passed")
     return 0
 
 
@@ -270,6 +423,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-run scenarios even when cached, replacing records")
     p_run.add_argument("--no-store", action="store_true",
                        help="do not read or write the result store")
+    p_run.add_argument("--shard-increments", type=int, default=1, metavar="N",
+                       help="split each scenario's increment stream into up to N "
+                            "pool tasks (records stay byte-identical to serial)")
+    p_run.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-task wall-clock budget; overdue scenarios record "
+                            "a timeout outcome instead of hanging the suite")
+    p_run.add_argument("--expect-cached", action="store_true",
+                       help="fail (exit 1) if any scenario would be computed "
+                            "instead of served from the store")
     _add_report_args(p_run)
     p_run.set_defaults(func=cmd_suite_run)
 
@@ -277,6 +439,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_show.add_argument("--preset", required=True, help="suite name (see: repro suite list)")
     _add_report_args(p_show)
     p_show.set_defaults(func=cmd_suite_show)
+
+    p_diff = suite_sub.add_parser(
+        "diff", help="compare two result stores (metric deltas, stale versions)"
+    )
+    p_diff.add_argument("store_a", help="baseline JSONL store")
+    p_diff.add_argument("store_b", help="comparison JSONL store")
+    p_diff.set_defaults(func=cmd_suite_diff)
+
+    p_store = sub.add_parser(
+        "store", help="result-store lifecycle (compaction, garbage collection)"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_compact = store_sub.add_parser(
+        "compact",
+        help="drop superseded-version records, keeping the newest per scenario",
+    )
+    p_compact.add_argument("store", nargs="?", default="results/suite.jsonl",
+                           help="JSONL store path (default: results/suite.jsonl)")
+    p_compact.set_defaults(func=cmd_store_compact)
+    p_gc = store_sub.add_parser(
+        "gc", help="drop every record not written by the current repro version"
+    )
+    p_gc.add_argument("store", nargs="?", default="results/suite.jsonl",
+                      help="JSONL store path (default: results/suite.jsonl)")
+    p_gc.set_defaults(func=cmd_store_gc)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the perf suite and emit/compare a machine-readable report",
+    )
+    p_bench.add_argument("--suite", default="perf",
+                         help="suite to benchmark (default: perf)")
+    p_bench.add_argument("--reps", type=int, default=3,
+                         help="interleaved repetitions per workload (default 3)")
+    p_bench.add_argument("--tag", default="local",
+                         help="tag stamped into the report (default: local)")
+    p_bench.add_argument("--json", default=None, metavar="PATH",
+                         help="write the BENCH_<tag>.json report here")
+    p_bench.add_argument("--baseline", default=None, metavar="PATH",
+                         help="compare against this bench JSON; exit 1 on regression")
+    p_bench.add_argument("--tolerance", type=float, default=0.25,
+                         help="tolerated relative cycles/sec drop (default 0.25)")
+    p_bench.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -11,7 +11,7 @@ pure-Python cycle-accurate simulator (see DESIGN.md and EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.datasets.sampling import (
     edge_sampling_increments,

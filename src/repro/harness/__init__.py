@@ -5,12 +5,18 @@ The harness is the one place the repository fans experiments out:
 * :mod:`repro.harness.scenario` — frozen :class:`Scenario` specs
   (dataset x chip x algorithm x options) with stable content hashes,
 * :mod:`repro.harness.registry` — named suites covering the paper's
-  evaluation plus chip/sampling/algorithm/fidelity sweeps,
-* :mod:`repro.harness.runner` — serial or ``multiprocessing`` execution
-  with deterministic per-scenario seeding,
-* :mod:`repro.harness.store` — a JSONL result cache keyed by spec hash,
+  evaluation plus chip/sampling/algorithm/fidelity sweeps and the
+  ``perf`` benchmark workloads,
+* :mod:`repro.harness.runner` — serial, pooled, sharded and
+  timeout-guarded execution with deterministic per-scenario seeding,
+* :mod:`repro.harness.pool` — the persistent worker pool underneath
+  (per-task timeouts, crash isolation, warm-worker reuse across runs),
+* :mod:`repro.harness.store` — a crash-safe JSONL result cache keyed by
+  spec hash, with compaction/GC and cross-store diffing,
 * :mod:`repro.harness.report` — folds stored records back into the
-  paper's tables and figures.
+  paper's tables and figures (and renders store diffs),
+* :mod:`repro.harness.bench` — the ``repro bench`` cycles/sec pipeline
+  emitting schema-versioned ``BENCH_<tag>.json`` reports.
 
 Typical use (also available as ``repro suite run``)::
 
@@ -21,6 +27,17 @@ Typical use (also available as ``repro suite run``)::
     print(f"{report.cache_hits} hits, {report.cache_misses} computed")
 """
 
+from repro.harness.bench import (
+    BENCH_SCHEMA,
+    BenchComparison,
+    WorkloadResult,
+    bench_payload,
+    compare_bench,
+    load_bench,
+    run_bench,
+    write_bench,
+)
+from repro.harness.pool import TaskResult, WorkerPool, get_pool, shutdown_pool
 from repro.harness.registry import (
     SuiteDef,
     build_paper_suite,
@@ -30,6 +47,7 @@ from repro.harness.registry import (
 )
 from repro.harness.report import (
     increment_figures_from_records,
+    render_store_diff,
     render_suite_report,
     suite_table_rows,
     table1_rows_from_records,
@@ -40,7 +58,9 @@ from repro.harness.runner import (
     SuiteReport,
     materialize_dataset,
     run_scenario,
+    run_scenario_sharded,
     run_suite,
+    shard_spans,
 )
 from repro.harness.scenario import (
     ALGORITHMS,
@@ -49,28 +69,51 @@ from repro.harness.scenario import (
     RunOptions,
     Scenario,
 )
-from repro.harness.store import ResultStore
+from repro.harness.store import (
+    ResultStore,
+    StoreDiff,
+    diff_stores,
+    record_identity,
+)
 
 __all__ = [
     "ALGORITHMS",
+    "BENCH_SCHEMA",
+    "BenchComparison",
     "ChipSpec",
     "DatasetSpec",
     "ResultStore",
     "RunOptions",
     "Scenario",
     "ScenarioOutcome",
+    "StoreDiff",
     "SuiteDef",
     "SuiteReport",
+    "TaskResult",
+    "WorkerPool",
+    "WorkloadResult",
+    "bench_payload",
     "build_paper_suite",
+    "compare_bench",
+    "diff_stores",
+    "get_pool",
     "get_suite",
     "increment_figures_from_records",
     "list_suites",
+    "load_bench",
     "materialize_dataset",
+    "record_identity",
     "register_suite",
+    "render_store_diff",
     "render_suite_report",
+    "run_bench",
     "run_scenario",
+    "run_scenario_sharded",
     "run_suite",
+    "shard_spans",
+    "shutdown_pool",
     "suite_table_rows",
     "table1_rows_from_records",
     "table2_rows_from_records",
+    "write_bench",
 ]

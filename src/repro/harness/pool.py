@@ -1,0 +1,309 @@
+"""Persistent worker-process pool with per-task timeouts and crash isolation.
+
+:class:`WorkerPool` keeps a fixed set of long-lived worker processes alive
+across task batches (and across :func:`~repro.harness.runner.run_suite`
+calls, via :func:`get_pool`), so suites of many tiny scenarios amortise
+interpreter/import startup instead of paying it per scenario the way a
+fresh ``multiprocessing.Pool`` per run does.
+
+Tasks travel over one duplex :func:`multiprocessing.Pipe` per worker rather
+than a shared queue.  That buys two properties a ``Pool`` cannot offer:
+
+* **Hard per-task timeouts.**  The parent knows exactly which worker runs
+  which task, so an overdue task is handled by killing *that* worker and
+  respawning a replacement — sibling tasks keep running, and the batch
+  records a ``timeout`` result instead of hanging.
+* **Crash containment.**  A worker that dies mid-task (OOM kill, segfault)
+  closes its pipe; :func:`multiprocessing.connection.wait` wakes the parent,
+  which records an ``error`` result and respawns.  Pipes carry whole pickled
+  messages, so killing a worker can never corrupt a shared queue the way
+  terminating a ``multiprocessing.Queue`` feeder can.
+
+Task callables must be module-level functions (they are pickled by
+reference); arguments and results must be picklable.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _wait_connections
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: A task is a module-level callable plus its positional arguments.
+Task = Tuple[Callable[..., Any], Tuple[Any, ...]]
+
+#: Grace period (seconds) for a killed or shut-down worker to be reaped.
+_JOIN_GRACE_S = 2.0
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one pool task, in submission order."""
+
+    status: str  # "ok" | "error" | "timeout"
+    value: Any = None
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: receive ``(task_id, fn, args)``, send back the result.
+
+    ``None`` is the shutdown sentinel.  Exceptions (including ``SystemExit``
+    raised by task code) are caught and shipped back as tracebacks so a
+    failing task never takes the worker down with it.
+    """
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        task_id, fn, args = item
+        try:
+            conn.send((task_id, "ok", fn(*args)))
+        except BaseException:
+            conn.send((task_id, "error", traceback.format_exc()))
+
+
+class _Worker:
+    """One live worker process and the parent's end of its pipe."""
+
+    def __init__(self, ctx) -> None:
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        self.process.start()
+        # The child holds its own copy; closing ours makes EOF detection
+        # (worker death -> readable pipe) work in the parent.
+        child_conn.close()
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        """Terminate the process and release the pipe (timeout/shutdown path)."""
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(_JOIN_GRACE_S)
+            if self.process.is_alive():  # pragma: no cover - stubborn child
+                self.process.kill()
+                self.process.join(_JOIN_GRACE_S)
+        self.conn.close()
+
+    def stop(self) -> None:
+        """Ask the worker to exit cleanly; escalate to kill if it won't."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(_JOIN_GRACE_S)
+        self.kill()
+
+
+@dataclass
+class _InFlight:
+    """Book-keeping for a task currently assigned to a worker."""
+
+    task_id: int
+    started: float
+    deadline: Optional[float]
+
+
+class WorkerPool:
+    """A reusable pool of worker processes executing batches of tasks.
+
+    Unlike ``multiprocessing.Pool``, the pool survives between
+    :meth:`run_tasks` calls, enforces a hard per-task ``timeout`` (the
+    worker is killed and replaced), and isolates worker crashes to the task
+    that triggered them.
+    """
+
+    def __init__(self, workers: int, *, context=None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._ctx = context or multiprocessing.get_context()
+        self._workers: List[_Worker] = [_Worker(self._ctx) for _ in range(workers)]
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._workers)
+
+    @property
+    def alive(self) -> bool:
+        return not self._closed
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the current worker processes (changes when one is killed)."""
+        return [w.process.pid for w in self._workers if w.process.pid is not None]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_tasks(
+        self,
+        tasks: List[Task],
+        *,
+        timeout: Optional[float] = None,
+        on_result: Optional[Callable[[int, TaskResult], None]] = None,
+        max_workers: Optional[int] = None,
+    ) -> List[TaskResult]:
+        """Run a batch of tasks, returning results in submission order.
+
+        Parameters
+        ----------
+        timeout:
+            Per-task wall-clock budget in seconds.  An overdue task's worker
+            is killed and replaced, and its slot records ``status="timeout"``;
+            other tasks are unaffected.  ``None`` disables the guard.
+        on_result:
+            Optional callback invoked as ``on_result(task_id, result)`` in
+            completion order (useful for live progress lines).
+        max_workers:
+            Cap on concurrently running tasks for this batch.  Lets a caller
+            honour a smaller parallelism request on a larger shared pool
+            without tearing it down.
+        """
+        if self._closed:
+            raise RuntimeError("pool has been shut down")
+        results: List[Optional[TaskResult]] = [None] * len(tasks)
+        pending = deque(range(len(tasks)))
+        idle = deque(self._workers)
+        busy: Dict[_Worker, _InFlight] = {}
+
+        def finish(worker: _Worker, result: TaskResult) -> None:
+            flight = busy.pop(worker)
+            result.elapsed_s = time.monotonic() - flight.started
+            results[flight.task_id] = result
+            if on_result is not None:
+                on_result(flight.task_id, result)
+
+        while pending or busy:
+            while pending and idle and (max_workers is None
+                                        or len(busy) < max_workers):
+                worker = idle.popleft()
+                # A worker can die while idle (OOM kill between batches of a
+                # long-lived shared pool); replace it instead of letting the
+                # send below take the whole batch down.
+                if not worker.alive:
+                    self._replace(worker, idle)
+                    continue
+                task_id = pending.popleft()
+                fn, args = tasks[task_id]
+                now = time.monotonic()
+                try:
+                    worker.conn.send((task_id, fn, args))
+                except (BrokenPipeError, OSError):
+                    pending.appendleft(task_id)
+                    self._replace(worker, idle)
+                    continue
+                busy[worker] = _InFlight(
+                    task_id=task_id,
+                    started=now,
+                    deadline=(now + timeout) if timeout is not None else None,
+                )
+
+            deadlines = [f.deadline for f in busy.values() if f.deadline is not None]
+            poll = None
+            if deadlines:
+                poll = max(0.0, min(deadlines) - time.monotonic())
+            ready = _wait_connections([w.conn for w in busy], timeout=poll)
+
+            by_conn = {w.conn: w for w in busy}
+            for conn in ready:
+                worker = by_conn[conn]
+                try:
+                    task_id, status, payload = conn.recv()
+                except (EOFError, OSError):
+                    # Worker died without reporting (crash, OOM kill).
+                    finish(worker, TaskResult(
+                        status="error",
+                        error="worker process died before returning a result",
+                    ))
+                    self._replace(worker, idle)
+                    continue
+                if status == "ok":
+                    finish(worker, TaskResult(status="ok", value=payload))
+                else:
+                    finish(worker, TaskResult(status="error", error=payload))
+                idle.append(worker)
+
+            now = time.monotonic()
+            for worker in [w for w, f in busy.items()
+                           if f.deadline is not None and f.deadline <= now]:
+                finish(worker, TaskResult(status="timeout"))
+                self._replace(worker, idle)
+
+        return [r for r in results if r is not None]
+
+    def _replace(self, worker: _Worker, idle: deque) -> None:
+        """Kill a worker and put a fresh replacement into the idle set."""
+        worker.kill()
+        self._workers.remove(worker)
+        replacement = _Worker(self._ctx)
+        self._workers.append(replacement)
+        idle.append(replacement)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop every worker.  Idempotent; the pool is unusable afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.stop()
+        self._workers = []
+
+
+# ----------------------------------------------------------------------
+# Shared pool: reused across run_suite calls within one process
+# ----------------------------------------------------------------------
+_shared_pool: Optional[WorkerPool] = None
+
+
+def get_pool(workers: int) -> WorkerPool:
+    """The process-wide shared pool, with at least ``workers`` workers.
+
+    A live pool that is already big enough is reused as-is — callers wanting
+    less parallelism cap it per batch via ``run_tasks(max_workers=...)``
+    rather than forcing a teardown.  Only asking for *more* workers (or
+    hitting a shut-down pool) rebuilds, so successive ``run_suite`` calls
+    with varying pending counts keep their warm workers.
+    """
+    global _shared_pool
+    if _shared_pool is not None and (_shared_pool.size < workers
+                                     or not _shared_pool.alive):
+        _shared_pool.shutdown()
+        _shared_pool = None
+    if _shared_pool is None:
+        _shared_pool = WorkerPool(workers)
+    return _shared_pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (no-op when none exists)."""
+    global _shared_pool
+    if _shared_pool is not None:
+        _shared_pool.shutdown()
+        _shared_pool = None
+
+
+atexit.register(shutdown_pool)

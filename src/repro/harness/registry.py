@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
-from repro.harness.scenario import ChipSpec, DatasetSpec, RunOptions, Scenario
+from repro.harness.scenario import ChipSpec, DatasetSpec, Scenario
 
 #: Default seed shared by the built-in suites (same as the benchmarks).
 SUITE_SEED = 7
@@ -240,3 +240,29 @@ register_suite("fidelity-sweep", "cycle vs latency NoC fidelity (BFS workload)",
 register_suite("noc-sweep",
                "cycle vs latency NoC x {8,16,32}-wide meshes (6 scenarios)",
                _noc_sweep)
+
+
+def _perf_suite() -> List[Scenario]:
+    """Fixed workloads behind ``repro bench`` (cycles/sec tracking).
+
+    The Fig 8-class workloads whose simulator throughput the ROADMAP perf
+    numbers track.  The two 50 K-class runs use a 1/125 scale factor (4x
+    the ``paper-tiny`` inputs) so each simulates for a few hundred
+    milliseconds — at 1/500 scale they finish in ~50 ms, where scheduler
+    noise alone can swing a median past CI's 25% regression tolerance.
+    The 500 K-class run stays at 1/500 scale (~1.4 s of simulation) and
+    covers the 32x32 chip.
+    """
+    by_name_50k = {s.name: s for s in build_paper_suite(1 / 125)}
+    by_name_500k = {s.name: s for s in build_paper_suite(1 / 500)}
+    return [
+        by_name_50k["graphchallenge-50k-edge-ingest"],
+        by_name_50k["graphchallenge-50k-edge-bfs"],
+        by_name_500k["graphchallenge-500k-snowball-bfs"],
+    ]
+
+
+register_suite("perf",
+               "fixed cycles/sec workloads behind `repro bench` "
+               "(Fig 8-class graphs sized for stable medians)",
+               _perf_suite)

@@ -14,6 +14,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.figures import FigureData
 from repro.analysis.tables import render_table
+from repro.harness.store import StoreDiff
 
 Record = Dict[str, Any]
 
@@ -150,4 +151,56 @@ def render_suite_report(records: Sequence[Record], *,
         if rows:
             sections.append("Table 2 analogue (energy and time):\n"
                             + render_table(rows, max_width=36))
+    return "\n\n".join(sections)
+
+
+def _record_labels(records: Sequence[Record]) -> str:
+    return ", ".join(str(r.get("name") or r.get("spec_hash", "?")[:12])
+                     for r in records)
+
+
+def render_store_diff(diff: StoreDiff, *, label_a: str = "A",
+                      label_b: str = "B") -> str:
+    """Render a :class:`~repro.harness.store.StoreDiff` as a text report.
+
+    One row per (scenario, changed metric); scenarios only present on one
+    side and stale-version records get their own summary lines, so the
+    output answers "what did this simulator change do to every stored
+    measurement" at a glance.
+    """
+    sections: List[str] = []
+    shared = len(diff.matched)
+    if diff.changed:
+        rows = [
+            {
+                "Scenario": entry.name,
+                "Metric": delta.metric,
+                label_a: delta.before,
+                label_b: delta.after,
+                "Delta": round(delta.delta, 6),
+                "Delta %": ("-" if delta.pct is None else f"{delta.pct:+.1f}%"),
+            }
+            for entry in diff.changed
+            for delta in entry.deltas
+        ]
+        sections.append(
+            f"{len(diff.changed)} of {shared} shared scenarios differ:\n"
+            + render_table(rows, max_width=36)
+        )
+    else:
+        sections.append(f"all {shared} shared scenarios agree")
+    if diff.only_a:
+        sections.append(f"only in {label_a} ({len(diff.only_a)}): "
+                        + _record_labels(diff.only_a))
+    if diff.only_b:
+        sections.append(f"only in {label_b} ({len(diff.only_b)}): "
+                        + _record_labels(diff.only_b))
+    if diff.stale_a:
+        sections.append(
+            f"stale versions in {label_a} ({len(diff.stale_a)} records): "
+            + _record_labels(diff.stale_a))
+    if diff.stale_b:
+        sections.append(
+            f"stale versions in {label_b} ({len(diff.stale_b)} records): "
+            + _record_labels(diff.stale_b))
     return "\n\n".join(sections)

@@ -1,28 +1,50 @@
-"""Scenario execution: serial or across ``multiprocessing`` workers.
+"""Scenario execution: serial, pooled, sharded and timeout-guarded.
 
 :func:`run_scenario` materialises one :class:`~repro.harness.scenario.Scenario`
 into a dataset + device + graph + algorithm, streams every increment, runs
 the query diffusion when the algorithm has one, and returns a flat,
 JSON-serialisable **record** containing only deterministic fields (no
 timestamps, hostnames or wall-clock), so the same scenario produces a
-byte-identical record whether it runs in-process or in a worker.
+byte-identical record whether it runs in-process, in a worker, or sharded.
 
-:func:`run_suite` fans a suite out over a process pool.  Each worker builds
-its own :class:`~repro.runtime.device.AMCCADevice` from the declarative
-spec — a mid-run simulator is full of closures and is not picklable, but a
+:func:`run_suite` fans a suite out over a persistent
+:class:`~repro.harness.pool.WorkerPool`.  Each worker rebuilds its own
+:class:`~repro.runtime.device.AMCCADevice` from the declarative spec — a
+mid-run simulator is full of closures and is not picklable, but a
 :class:`Scenario` is a frozen dataclass of plain values, so only specs cross
 the process boundary (records come back as plain dicts).  Scenarios already
 present in the :class:`~repro.harness.store.ResultStore` are skipped as
 cache hits unless ``force`` is set.
+
+Increment sharding
+------------------
+``shard_increments=N`` splits one scenario's increment stream into N
+contiguous spans, each executed as its own pool task
+(:func:`run_scenario_sharded`).  The chip's state is sequential — increment
+``i`` runs against the graph that increments ``0..i-1`` built — so a shard
+covering ``[start, stop)`` first *replays* increments ``[0, start)`` with
+the identical simulation and then measures its own span; the final shard
+also runs the query phase and extracts the end-of-run statistics.  The
+merge concatenates the measured spans in order and is **byte-identical to a
+serial run** because every shard derives its state from the same
+deterministic spec.
+
+Be explicit about the cost model: replaying prefixes means sharding *adds*
+CPU work (shard ``k`` re-simulates everything before its span) and cannot
+finish before the final shard, which spans the whole stream.  What sharding
+buys is operational, not asymptotic: per-shard ``--timeout`` granularity on
+long streams, finer progress/failure units (an interrupted run loses one
+span, not the scenario), and a built-in cross-process determinism audit —
+the acceptance check that sharded records equal serial ones exercises every
+increment boundary.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import __version__
 from repro.algorithms import (
@@ -36,6 +58,7 @@ from repro.algorithms import (
 from repro.datasets.streaming import StreamingDataset, make_streaming_dataset
 from repro.graph.graph import DynamicGraph
 from repro.graph.rpvo import Edge
+from repro.harness.pool import TaskResult, WorkerPool, get_pool
 from repro.harness.scenario import DatasetSpec, RunOptions, Scenario
 from repro.harness.store import ResultStore
 from repro.runtime.device import AMCCADevice
@@ -108,11 +131,28 @@ def _algorithm_metrics(kind: str, algorithm, graph: DynamicGraph) -> Dict[str, A
 
 
 # ----------------------------------------------------------------------
-# Single-scenario execution
+# Span execution (the shared core of whole-scenario and sharded runs)
 # ----------------------------------------------------------------------
-def run_scenario(scenario: Scenario) -> Dict[str, Any]:
-    """Execute one scenario end to end and return its result record."""
+def _execute_span(
+    scenario: Scenario,
+    start: int,
+    stop: Optional[int],
+    want_final: bool,
+    timings: Optional[Dict[str, float]] = None,
+) -> Dict[str, Any]:
+    """Run increments ``[0, stop)``, measuring only ``[start, stop)``.
+
+    Increments before ``start`` are *replayed* — executed identically but
+    not reported — because the graph state they build is the starting point
+    of the measured span.  With ``want_final`` (the last shard, or a whole
+    run) the query phase runs and end-of-run statistics are extracted.
+
+    ``timings``, when given, receives wall-clock phase durations
+    (``setup_s``, ``sim_s``) for the benchmark driver; they never enter the
+    returned payload, which stays fully deterministic.
+    """
     opts: RunOptions = scenario.options
+    t0 = time.perf_counter()
     dataset = materialize_dataset(scenario.dataset)
     chip = scenario.chip.to_chip_config()
     device = AMCCADevice(chip)
@@ -129,42 +169,161 @@ def run_scenario(scenario: Scenario) -> Dict[str, Any]:
         graph.attach(algorithm)
         if hasattr(algorithm, "seed"):
             algorithm.seed(graph, root=opts.root)
+    t1 = time.perf_counter()
 
-    increment_cycles: List[int] = []
-    for i, increment in enumerate(dataset.increments, start=1):
+    total = len(dataset.increments)
+    stop = total if stop is None else stop
+    if not (0 <= start <= stop <= total):
+        raise ValueError(f"invalid span [{start}, {stop}) of {total} increments")
+    if want_final and stop != total:
+        raise ValueError("final span must run through the last increment")
+
+    measured: List[int] = []
+    for i, increment in enumerate(dataset.increments[:stop], start=1):
         result = graph.stream_increment(
             increment,
             phase=f"increment-{i}",
             max_cycles=opts.max_cycles_per_increment,
         )
-        increment_cycles.append(result.cycles)
+        if i > start:
+            measured.append(result.cycles)
 
-    # Query algorithms (triangles, jaccard, pagerank-delta) diffuse over the
-    # ingested graph after streaming quiesces.
-    query_cycles = 0
-    if algorithm is not None and hasattr(algorithm, "run"):
-        query_result = algorithm.run(graph)
-        query_cycles = query_result.cycles
+    part: Dict[str, Any] = {
+        "spec_hash": scenario.spec_hash(),
+        "span": [start, stop],
+        "increment_cycles": measured,
+    }
+    if want_final:
+        # Query algorithms (triangles, jaccard, pagerank-delta) diffuse over
+        # the ingested graph after streaming quiesces.
+        query_cycles = 0
+        if algorithm is not None and hasattr(algorithm, "run"):
+            query_result = algorithm.run(graph)
+            query_cycles = query_result.cycles
+        stats = device.stats()
+        energy = device.energy_report()
+        ghosts = graph.ghost_report()
+        part["final"] = {
+            "increment_sizes": dataset.increment_sizes(),
+            "query_cycles": query_cycles,
+            "energy": energy.as_dict(),
+            "stats": stats.summary(),
+            "edges_stored": graph.total_edges_stored(),
+            "ghost_blocks": ghosts["ghost_blocks"],
+            "algo_metrics": _algorithm_metrics(scenario.algorithm, algorithm, graph),
+        }
+    if timings is not None:
+        timings["setup_s"] = t1 - t0
+        timings["sim_s"] = time.perf_counter() - t1
+    return part
 
-    stats = device.stats()
-    energy = device.energy_report()
-    summary = stats.summary()
-    ghosts = graph.ghost_report()
+
+def _assemble_record(
+    scenario: Scenario,
+    increment_cycles: List[int],
+    final: Dict[str, Any],
+) -> Dict[str, Any]:
+    """The canonical result record: one code path for serial and sharded runs."""
     return {
         "spec_hash": scenario.spec_hash(),
         "name": scenario.name,
         "repro_version": __version__,
         "scenario": scenario.spec_dict(),
-        "increment_sizes": dataset.increment_sizes(),
+        "increment_sizes": final["increment_sizes"],
         "increment_cycles": increment_cycles,
-        "query_cycles": query_cycles,
-        "total_cycles": sum(increment_cycles) + query_cycles,
-        "energy": energy.as_dict(),
-        "stats": summary,
-        "edges_stored": graph.total_edges_stored(),
-        "ghost_blocks": ghosts["ghost_blocks"],
-        "algo_metrics": _algorithm_metrics(scenario.algorithm, algorithm, graph),
+        "query_cycles": final["query_cycles"],
+        "total_cycles": sum(increment_cycles) + final["query_cycles"],
+        "energy": final["energy"],
+        "stats": final["stats"],
+        "edges_stored": final["edges_stored"],
+        "ghost_blocks": final["ghost_blocks"],
+        "algo_metrics": final["algo_metrics"],
     }
+
+
+# ----------------------------------------------------------------------
+# Single-scenario execution
+# ----------------------------------------------------------------------
+def run_scenario(
+    scenario: Scenario, *, timings: Optional[Dict[str, float]] = None
+) -> Dict[str, Any]:
+    """Execute one scenario end to end and return its result record."""
+    part = _execute_span(scenario, 0, None, True, timings)
+    return _assemble_record(scenario, part["increment_cycles"], part["final"])
+
+
+def shard_spans(num_increments: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ``num_increments`` into up to ``shards`` contiguous spans."""
+    shards = max(1, min(shards, num_increments))
+    bounds = [round(i * num_increments / shards) for i in range(shards + 1)]
+    return [(a, b) for a, b in zip(bounds, bounds[1:]) if b > a]
+
+
+def _span_task(spec: Dict[str, Any], start: int, stop: int,
+               want_final: bool) -> Dict[str, Any]:
+    """Pool task: one shard of one scenario (module-level, picklable)."""
+    return _execute_span(Scenario.from_dict(spec), start, stop, want_final)
+
+
+def _scenario_task(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool task: one whole scenario (module-level, picklable)."""
+    return run_scenario(Scenario.from_dict(spec))
+
+
+def _merge_shard_parts(
+    scenario: Scenario, parts: List[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Deterministic merge of shard payloads into one canonical record."""
+    parts = sorted(parts, key=lambda p: p["span"][0])
+    cycles: List[int] = []
+    final: Optional[Dict[str, Any]] = None
+    expected = 0
+    for part in parts:
+        start, stop = part["span"]
+        if start != expected:
+            raise ValueError(f"shard spans of {scenario.name!r} are not contiguous")
+        cycles.extend(part["increment_cycles"])
+        expected = stop
+        if "final" in part:
+            final = part["final"]
+    if final is None:
+        raise ValueError(f"no final shard for {scenario.name!r}")
+    return _assemble_record(scenario, cycles, final)
+
+
+def run_scenario_sharded(
+    scenario: Scenario,
+    shards: int,
+    *,
+    pool: Optional[WorkerPool] = None,
+    timeout: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Run one scenario as sharded spans and merge — byte-identical to serial.
+
+    With ``pool`` the spans run as parallel pool tasks (each guarded by
+    ``timeout``, if set); without one they run in-process, which still
+    exercises the replay/merge path.  Raises ``TimeoutError`` or
+    ``RuntimeError`` when a shard fails.
+    """
+    spans = shard_spans(scenario.dataset.num_increments, shards)
+    spec = scenario.spec_dict()
+    last = spans[-1][1]
+    if pool is None:
+        parts = [_span_task(spec, a, b, b == last) for a, b in spans]
+    else:
+        outcomes = pool.run_tasks(
+            [(_span_task, (spec, a, b, b == last)) for a, b in spans],
+            timeout=timeout,
+        )
+        for outcome in outcomes:
+            if outcome.status == "timeout":
+                raise TimeoutError(
+                    f"shard of {scenario.name!r} exceeded {timeout}s")
+            if outcome.status != "ok":
+                raise RuntimeError(
+                    f"shard of {scenario.name!r} failed:\n{outcome.error}")
+        parts = [o.value for o in outcomes]
+    return _merge_shard_parts(scenario, parts)
 
 
 # ----------------------------------------------------------------------
@@ -172,11 +331,19 @@ def run_scenario(scenario: Scenario) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 @dataclass
 class ScenarioOutcome:
-    """One scenario's record plus where it came from (cache or fresh run)."""
+    """One scenario's result plus how it was obtained.
+
+    ``status`` is one of ``"ok"`` (record present, fresh or cached),
+    ``"timeout"`` (exceeded the per-task budget), ``"error"`` (raised or
+    the worker died) or ``"uncached"`` (``expect_cached`` found no stored
+    record and refused to compute).  Only ``"ok"`` outcomes carry a record.
+    """
 
     scenario: Scenario
-    record: Dict[str, Any]
+    record: Optional[Dict[str, Any]]
     cached: bool
+    status: str = "ok"
+    error: Optional[str] = None
 
 
 @dataclass
@@ -189,7 +356,7 @@ class SuiteReport:
 
     @property
     def records(self) -> List[Dict[str, Any]]:
-        return [o.record for o in self.outcomes]
+        return [o.record for o in self.outcomes if o.record is not None]
 
     @property
     def cache_hits(self) -> int:
@@ -197,7 +364,19 @@ class SuiteReport:
 
     @property
     def cache_misses(self) -> int:
-        return len(self.outcomes) - self.cache_hits
+        return sum(1 for o in self.outcomes if not o.cached and o.status == "ok")
+
+    @property
+    def failures(self) -> List[ScenarioOutcome]:
+        """Outcomes that produced no record (timeout / error / uncached)."""
+        return [o for o in self.outcomes if o.status != "ok"]
+
+
+_STATUS_TAGS = {
+    "timeout": "[timeout   ]",
+    "error": "[error     ]",
+    "uncached": "[uncached  ]",
+}
 
 
 def run_suite(
@@ -207,15 +386,19 @@ def run_suite(
     store: Optional[ResultStore] = None,
     force: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    shard_increments: int = 1,
+    timeout: Optional[float] = None,
+    expect_cached: bool = False,
+    pool: Optional[WorkerPool] = None,
 ) -> SuiteReport:
     """Run a suite of scenarios, consulting and filling the result store.
 
     Parameters
     ----------
     jobs:
-        Worker processes.  ``1`` (or a single pending scenario) runs
-        serially in-process; results are identical either way because every
-        scenario derives its seeds from its own spec.
+        Worker processes.  ``1`` runs serially in-process (unless ``timeout``
+        is set, which needs process isolation); results are identical either
+        way because every scenario derives its seeds from its own spec.
     store:
         Optional :class:`ResultStore`.  Scenarios whose spec hash is already
         stored are reported as cache hits and not re-run.
@@ -223,6 +406,22 @@ def run_suite(
         Re-run every scenario even on a cache hit, replacing stored records.
     progress:
         Optional callback receiving one human-readable line per scenario.
+    shard_increments:
+        Split each pending scenario's increment stream into up to this many
+        spans, each its own pool task (see the module docstring for the
+        replay cost model).  ``1`` disables sharding.
+    timeout:
+        Per-task wall-clock budget in seconds.  An overdue task's worker is
+        killed; the scenario records a ``timeout`` outcome and the rest of
+        the suite keeps running.  With sharding the budget guards each span.
+    expect_cached:
+        Assert-only mode: scenarios missing from the store are *not* run but
+        reported with status ``"uncached"`` (in ``report.failures``), so CI
+        can verify a warm cache without grep-ing log text.
+    pool:
+        Explicit :class:`WorkerPool` to run on; defaults to the process-wide
+        shared pool (:func:`~repro.harness.pool.get_pool`), which persists
+        between calls so repeated suites reuse warm workers.
     """
     say = progress or (lambda _msg: None)
     started = time.perf_counter()
@@ -244,27 +443,111 @@ def run_suite(
             seen_this_run[spec_hash] = i
             pending.append(i)
 
-    if pending:
-        workers = max(1, min(jobs, len(pending)))
-        if workers > 1:
-            ctx = multiprocessing.get_context()
-            with ctx.Pool(processes=workers) as pool:
-                fresh = pool.map(run_scenario, [scenarios[i] for i in pending])
-        else:
-            fresh = [run_scenario(scenarios[i]) for i in pending]
-        for i, record in zip(pending, fresh):
-            slots[i] = ScenarioOutcome(scenarios[i], record, cached=False)
-            say(f"[computed  ] {scenarios[i].name}")
-        if store is not None:
-            store.put_many(fresh)
+    if pending and expect_cached:
+        for i in pending:
+            slots[i] = ScenarioOutcome(scenarios[i], None, cached=False,
+                                       status="uncached")
+            say(f"{_STATUS_TAGS['uncached']} {scenarios[i].name}")
+        pending = []
 
-    # Fill records for intra-suite duplicates from the scenario that ran.
-    by_hash = {o.record["spec_hash"]: o for o in slots if o is not None}
+    if pending:
+        workers = max(1, min(jobs, len(pending) * max(1, shard_increments)))
+        if workers > 1 or timeout is not None:
+            outcomes = _run_pending_pooled(
+                scenarios, pending, pool or get_pool(workers),
+                shard_increments=shard_increments, timeout=timeout,
+                max_workers=workers,
+            )
+        else:
+            # Serial in-process path.  Sharding still executes span-by-span
+            # (exercising the replay/merge path) so the flag never silently
+            # no-ops just because jobs defaulted to 1.
+            outcomes = []
+            for i in pending:
+                if shard_increments > 1:
+                    record = run_scenario_sharded(scenarios[i], shard_increments)
+                else:
+                    record = run_scenario(scenarios[i])
+                outcomes.append(
+                    ScenarioOutcome(scenarios[i], record, cached=False))
+        fresh_records = []
+        for i, outcome in zip(pending, outcomes):
+            slots[i] = outcome
+            if outcome.status == "ok":
+                say(f"[computed  ] {outcome.scenario.name}")
+                fresh_records.append(outcome.record)
+            else:
+                say(f"{_STATUS_TAGS[outcome.status]} {outcome.scenario.name}")
+        if store is not None and fresh_records:
+            store.put_many(fresh_records)
+
+    # Fill outcomes for intra-suite duplicates from the scenario that ran.
+    by_hash = {hashes[i]: s for i, s in enumerate(slots) if s is not None}
     for i, slot in enumerate(slots):
         if slot is None:
             twin = by_hash[hashes[i]]
-            slots[i] = ScenarioOutcome(scenarios[i], twin.record, cached=True)
+            slots[i] = ScenarioOutcome(
+                scenarios[i], twin.record, cached=twin.status == "ok",
+                status=twin.status, error=twin.error,
+            )
 
     report.outcomes = [s for s in slots if s is not None]
     report.elapsed_s = time.perf_counter() - started
     return report
+
+
+def _run_pending_pooled(
+    scenarios: List[Scenario],
+    pending: List[int],
+    pool: WorkerPool,
+    *,
+    shard_increments: int,
+    timeout: Optional[float],
+    max_workers: Optional[int] = None,
+) -> List[ScenarioOutcome]:
+    """Run pending scenarios on a pool, sharding each when asked to.
+
+    All tasks (shards of every pending scenario) go into one batch so spans
+    of a long scenario interleave with other scenarios across the workers.
+    Returns one outcome per pending index, in ``pending`` order.
+    """
+    tasks = []
+    task_owner: List[int] = []  # task index -> position in `pending`
+    for pos, i in enumerate(pending):
+        scenario = scenarios[i]
+        spans = (shard_spans(scenario.dataset.num_increments, shard_increments)
+                 if shard_increments > 1 else [])
+        if len(spans) > 1:
+            last = spans[-1][1]
+            spec = scenario.spec_dict()
+            for a, b in spans:
+                tasks.append((_span_task, (spec, a, b, b == last)))
+                task_owner.append(pos)
+        else:
+            tasks.append((_scenario_task, (scenario.spec_dict(),)))
+            task_owner.append(pos)
+
+    results = pool.run_tasks(tasks, timeout=timeout, max_workers=max_workers)
+
+    grouped: Dict[int, List[TaskResult]] = {}
+    for task_id, result in enumerate(results):
+        grouped.setdefault(task_owner[task_id], []).append(result)
+
+    outcomes: List[ScenarioOutcome] = []
+    for pos, i in enumerate(pending):
+        scenario = scenarios[i]
+        parts = grouped[pos]
+        bad = [r for r in parts if r.status != "ok"]
+        if bad:
+            status = ("timeout" if any(r.status == "timeout" for r in bad)
+                      else "error")
+            error = next((r.error for r in bad if r.error), None)
+            outcomes.append(ScenarioOutcome(scenario, None, cached=False,
+                                            status=status, error=error))
+        elif len(parts) == 1 and "span" not in parts[0].value:
+            outcomes.append(ScenarioOutcome(scenario, parts[0].value,
+                                            cached=False))
+        else:
+            record = _merge_shard_parts(scenario, [r.value for r in parts])
+            outcomes.append(ScenarioOutcome(scenario, record, cached=False))
+    return outcomes

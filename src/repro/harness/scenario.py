@@ -133,7 +133,15 @@ class Scenario:
         )
 
     def canonical_json(self) -> str:
-        """Canonical JSON encoding: sorted keys, no whitespace variance."""
+        """Canonical JSON encoding: sorted keys, no whitespace variance.
+
+        This string is also the scenario's **version-independent identity**:
+        store lifecycle tooling (``repro suite diff``, ``repro store
+        compact``) uses it — via
+        :func:`repro.harness.store.record_identity` — to line up records of
+        the same experiment across repro versions, which :meth:`spec_hash`
+        deliberately cannot do because the version is folded into the hash.
+        """
         return json.dumps(self.spec_dict(), sort_keys=True, separators=(",", ":"))
 
     def spec_hash(self) -> str:

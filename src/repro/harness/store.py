@@ -2,10 +2,24 @@
 
 Every record is one JSON object per line with at least a ``spec_hash``
 field (the :meth:`~repro.harness.scenario.Scenario.spec_hash` of the run)
-plus the measurements the runner produced.  Appending is the common path;
-replacing (``--force`` re-runs) compacts the file so a hash appears at most
-once.  Records contain no timestamps or host-dependent fields, so a store
-written by a parallel run is byte-identical to one written serially.
+plus the measurements the runner produced.  Records contain no timestamps
+or host-dependent fields, so a store written by a parallel run is
+byte-identical to one written serially.
+
+Every mutation rewrites the file **atomically**: records are serialised to
+a temp file in the same directory, fsync'd, and moved over the store with
+``os.replace``.  A run interrupted at any point (SIGKILL included) leaves
+either the old store or the new one on disk — never a truncated line — and
+each rewrite doubles as compaction, so a hash appears at most once.
+
+Two scenarios carry two distinct keys here:
+
+* ``spec_hash`` — spec **plus** :data:`repro.__version__`; the cache key.
+* the *identity* (:func:`record_identity`) — the canonical JSON of the
+  spec alone.  It is stable across version bumps, which is what lets
+  :meth:`ResultStore.compact` drop superseded-version records of the same
+  experiment and :func:`diff_stores` line up before/after measurements of
+  one scenario across a simulator change.
 """
 
 from __future__ import annotations
@@ -13,8 +27,38 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro import __version__
+
+Record = Dict[str, Any]
+
+
+def record_identity(record: Record) -> str:
+    """Version-independent identity of a record: its canonical spec JSON.
+
+    Equals :meth:`Scenario.canonical_json` of the scenario that produced
+    the record.  Records without an embedded spec (hand-written test
+    fixtures) fall back to their ``spec_hash``.
+    """
+    spec = record.get("scenario")
+    if spec is None:
+        return str(record.get("spec_hash"))
+    return json.dumps(spec, sort_keys=True, separators=(",", ":"))
+
+
+def _version_key(version: Optional[str]) -> Tuple:
+    """Sort key ordering release strings like ``1.2.0`` (missing = oldest)."""
+    if not version:
+        return ((0, 0),)
+    parts = []
+    for token in str(version).split("."):
+        # Numeric components sort numerically, anything else lexically
+        # after numbers ("1.2.0" < "1.2.0rc1" is fine for our purposes).
+        parts.append((0, int(token)) if token.isdigit() else (1, token))
+    return tuple(parts)
 
 
 class ResultStore:
@@ -22,7 +66,7 @@ class ResultStore:
 
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = Path(path)
-        self._records: Dict[str, Dict[str, Any]] = {}
+        self._records: Dict[str, Record] = {}
         if self.path.exists():
             self._load()
 
@@ -56,68 +100,270 @@ class ResultStore:
     def __contains__(self, spec_hash: str) -> bool:
         return spec_hash in self._records
 
-    def get(self, spec_hash: str) -> Optional[Dict[str, Any]]:
+    def get(self, spec_hash: str) -> Optional[Record]:
         """The stored record for a scenario hash, or None on a cache miss."""
         return self._records.get(spec_hash)
 
-    def records(self) -> List[Dict[str, Any]]:
+    def records(self) -> List[Record]:
         """All stored records, in insertion order."""
         return list(self._records.values())
 
-    def __iter__(self) -> Iterator[Dict[str, Any]]:
+    def __iter__(self) -> Iterator[Record]:
         return iter(self._records.values())
+
+    def stale_records(self, current_version: Optional[str] = None) -> List[Record]:
+        """Records written by a repro version other than ``current_version``.
+
+        Stale records are unreachable through the cache (the version is part
+        of ``spec_hash``) but still occupy the file until compacted away.
+        """
+        current = current_version if current_version is not None else __version__
+        return [r for r in self._records.values()
+                if r.get("repro_version") != current]
 
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
     @staticmethod
-    def encode(record: Dict[str, Any]) -> str:
-        """Canonical single-line encoding shared by put() and rewrites."""
+    def encode(record: Record) -> str:
+        """Canonical single-line encoding shared by every write path."""
         return json.dumps(record, sort_keys=True, separators=(",", ":"))
 
-    def put(self, record: Dict[str, Any]) -> None:
-        """Insert or replace the record for ``record['spec_hash']``.
-
-        New hashes are appended; replacing an existing hash rewrites the
-        file (atomically, via a temp file) so the store stays compact.
-        """
+    def put(self, record: Record) -> None:
+        """Insert or replace the record for ``record['spec_hash']``."""
         self.put_many([record])
 
-    def put_many(self, records: List[Dict[str, Any]]) -> None:
-        """Insert or replace a batch of records with at most one rewrite.
+    def put_many(self, records: List[Record]) -> None:
+        """Insert or replace a batch of records with one atomic rewrite.
 
-        A ``--force`` re-run replaces many records at once; rewriting per
-        record would be O(batch x store) I/O, so replacements are folded
-        into a single compaction.
+        Batching matters: a ``--force`` re-run replaces many records at
+        once, and one rewrite per batch keeps I/O at O(store) instead of
+        O(batch x store).  Before rewriting, records another process added
+        to the file since our load are folded in (best effort — the window
+        between that read and our rename remains a last-writer-wins race,
+        but two suite runs appending different scenarios to one store no
+        longer silently drop each other's results).
         """
-        appends: List[Dict[str, Any]] = []
-        replacing = False
         for record in records:
             key = record.get("spec_hash")
             if not key:
                 raise ValueError("record must carry a spec_hash")
-            if key in self._records:
-                replacing = True
-            else:
-                appends.append(record)
             self._records[key] = record
-        if replacing:
+        if records:
+            self._merge_disk()
             self._rewrite()
-        elif appends:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with self.path.open("a", encoding="utf-8") as fh:
-                for record in appends:
-                    fh.write(self.encode(record) + "\n")
+
+    def _merge_disk(self) -> None:
+        """Fold in on-disk records a concurrent writer added since our load.
+
+        Our own records win on conflicting hashes (that is what ``put``
+        means); only hashes we have never seen are adopted.
+        """
+        if not self.path.exists():
+            return
+        on_disk = ResultStore(self.path)
+        for key, record in on_disk._records.items():
+            if key not in self._records:
+                self._records[key] = record
 
     def _rewrite(self) -> None:
+        """Persist the in-memory records, crash-safely.
+
+        The new contents are written to a temp file in the store's own
+        directory (so ``os.replace`` stays within one filesystem), flushed
+        and fsync'd, and only then moved over the store.  An interruption at
+        any point leaves the previous store intact.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=str(self.path.parent), suffix=".jsonl.tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 for record in self._records.values():
                     fh.write(self.encode(record) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, self.path)
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+        self._fsync_parent()
+
+    def _fsync_parent(self) -> None:
+        """Flush the directory entry so the rename itself survives a crash."""
+        try:
+            dir_fd = os.open(str(self.path.parent), os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:  # pragma: no cover
+            pass
+        finally:
+            os.close(dir_fd)
+
+    # ------------------------------------------------------------------
+    # Lifecycle: compaction and garbage collection
+    # ------------------------------------------------------------------
+    def compact(self) -> List[Record]:
+        """Drop superseded-version records; keep the newest per identity.
+
+        When the same experiment (identical spec, so identical
+        :func:`record_identity`) has records from several repro versions,
+        only the one with the highest version survives.  Returns the
+        dropped records; rewrites atomically only when something changed.
+        """
+        best: Dict[str, Record] = {}
+        for record in self._records.values():
+            identity = record_identity(record)
+            incumbent = best.get(identity)
+            if incumbent is None or (
+                _version_key(record.get("repro_version"))
+                >= _version_key(incumbent.get("repro_version"))
+            ):
+                best[identity] = record
+        keep = {id(r) for r in best.values()}
+        dropped = [r for r in self._records.values() if id(r) not in keep]
+        if dropped:
+            self._records = {r["spec_hash"]: r for r in self._records.values()
+                             if id(r) in keep}
+            self._rewrite()
+        return dropped
+
+    def gc(self, current_version: Optional[str] = None) -> List[Record]:
+        """Drop every record not written by ``current_version``.
+
+        Stricter than :meth:`compact`: even experiments that only ever ran
+        under an old version are dropped, leaving exactly the records the
+        cache can still serve.  Returns the dropped records.
+        """
+        current = current_version if current_version is not None else __version__
+        dropped = self.stale_records(current)
+        if dropped:
+            gone = {id(r) for r in dropped}
+            self._records = {k: r for k, r in self._records.items()
+                             if id(r) not in gone}
+            self._rewrite()
+        return dropped
+
+
+# ----------------------------------------------------------------------
+# Store diffing
+# ----------------------------------------------------------------------
+#: Metrics compared by :func:`diff_stores`; dotted paths index into records.
+DIFF_METRICS: Tuple[str, ...] = (
+    "total_cycles",
+    "query_cycles",
+    "edges_stored",
+    "ghost_blocks",
+    "energy.total_uj",
+    "energy.time_us",
+)
+
+
+def _metric_value(record: Record, path: str) -> Optional[float]:
+    value: Any = record
+    for part in path.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value if isinstance(value, (int, float)) else None
+
+
+@dataclass
+class MetricDelta:
+    """One metric's movement between two stores for one scenario."""
+
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def pct(self) -> Optional[float]:
+        """Relative change in percent (None when the baseline is zero)."""
+        if self.before == 0:
+            return None
+        return 100.0 * self.delta / self.before
+
+
+@dataclass
+class DiffEntry:
+    """One scenario present in both stores, with its changed metrics."""
+
+    name: str
+    identity: str
+    version_a: Optional[str]
+    version_b: Optional[str]
+    deltas: List[MetricDelta] = field(default_factory=list)
+
+
+@dataclass
+class StoreDiff:
+    """Structured comparison of two result stores, keyed by spec identity."""
+
+    matched: List[DiffEntry] = field(default_factory=list)
+    only_a: List[Record] = field(default_factory=list)
+    only_b: List[Record] = field(default_factory=list)
+    stale_a: List[Record] = field(default_factory=list)
+    stale_b: List[Record] = field(default_factory=list)
+
+    @property
+    def changed(self) -> List[DiffEntry]:
+        return [entry for entry in self.matched if entry.deltas]
+
+    @property
+    def identical(self) -> bool:
+        """True when every shared scenario agrees and neither side has extras."""
+        return not self.changed and not self.only_a and not self.only_b
+
+
+def diff_stores(
+    store_a: ResultStore,
+    store_b: ResultStore,
+    *,
+    metrics: Tuple[str, ...] = DIFF_METRICS,
+    current_version: Optional[str] = None,
+) -> StoreDiff:
+    """Compare two stores scenario by scenario.
+
+    Records are matched on :func:`record_identity` — the version-independent
+    spec — so a store written before a simulator change lines up with one
+    written after it even though every ``spec_hash`` differs.  Shared
+    scenarios contribute a :class:`MetricDelta` per metric that moved;
+    unmatched records land in ``only_a`` / ``only_b``, and each side's
+    records from non-current repro versions are listed as stale.
+    """
+    by_identity_a = {record_identity(r): r for r in store_a}
+    by_identity_b = {record_identity(r): r for r in store_b}
+
+    diff = StoreDiff(
+        stale_a=store_a.stale_records(current_version),
+        stale_b=store_b.stale_records(current_version),
+    )
+    for identity, rec_a in by_identity_a.items():
+        rec_b = by_identity_b.get(identity)
+        if rec_b is None:
+            diff.only_a.append(rec_a)
+            continue
+        entry = DiffEntry(
+            name=rec_a.get("name") or rec_b.get("name") or identity[:40],
+            identity=identity,
+            version_a=rec_a.get("repro_version"),
+            version_b=rec_b.get("repro_version"),
+        )
+        for metric in metrics:
+            before = _metric_value(rec_a, metric)
+            after = _metric_value(rec_b, metric)
+            if before is None or after is None or before == after:
+                continue
+            entry.deltas.append(MetricDelta(metric=metric, before=before,
+                                            after=after))
+        diff.matched.append(entry)
+    for identity, rec_b in by_identity_b.items():
+        if identity not in by_identity_a:
+            diff.only_b.append(rec_b)
+    return diff

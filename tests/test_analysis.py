@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.experiments import run_ingestion_bfs_pair, run_streaming_experiment
+from repro.analysis.experiments import run_ingestion_bfs_pair
 from repro.analysis.figures import (
     FigureData,
     activation_figure,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.arch.address import Address
 from repro.arch.config import ChipConfig
-from repro.arch.message import Message
 from repro.runtime.device import AMCCADevice
 from repro.runtime.terminator import Terminator
 

@@ -1,6 +1,5 @@
 """Edge-case tests: messages, disconnected snowball discovery, multi-run devices."""
 
-import pytest
 
 from repro.arch.address import Address
 from repro.arch.config import ChipConfig
@@ -11,7 +10,7 @@ from repro.graph.graph import DynamicGraph
 from repro.graph.rpvo import Edge
 from repro.runtime.device import AMCCADevice
 
-from helpers import build_bfs_graph, random_edges
+from helpers import build_bfs_graph
 
 
 class TestMessage:

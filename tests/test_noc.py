@@ -1,6 +1,5 @@
 """Tests for both NoC fidelity models: delivery, latency, contention."""
 
-import pytest
 
 from repro.arch.config import ChipConfig
 from repro.arch.message import Message

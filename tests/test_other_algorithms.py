@@ -1,6 +1,5 @@
 """Correctness tests for SSSP, connected components, triangles, Jaccard, PageRank."""
 
-import networkx as nx
 import pytest
 
 from repro.algorithms import (

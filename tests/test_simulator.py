@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.arch.address import Address
 from repro.arch.cell import Task
 from repro.arch.config import ChipConfig
 from repro.arch.message import Message
