@@ -1,0 +1,29 @@
+"""Optional-dependency shims (currently: NumPy).
+
+NumPy powers the vectorised kernels and the dataset generators but is an
+optional ``[perf]`` extra, not a hard dependency: the simulator, the runtime
+and the harness all work without it (the NoC falls back to the pure-Python
+kernel automatically).  Modules that can degrade import ``np``/``HAVE_NUMPY``
+from here; modules that fundamentally need NumPy (dataset generation, figure
+rendering) call :func:`require_numpy` at entry so the failure is a clear,
+actionable error instead of an import-time crash.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+
+def require_numpy(feature: str) -> None:
+    """Raise a clear error when ``feature`` is used without NumPy installed."""
+    if np is None:
+        raise RuntimeError(
+            f"{feature} requires numpy; install it with the [perf] extra "
+            "(pip install repro-amcca[perf]) or pip install numpy"
+        )

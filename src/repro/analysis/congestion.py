@@ -19,8 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
+from repro._compat import np, require_numpy
 from repro.arch.config import ChipConfig
 from repro.graph.graph import DynamicGraph
 from repro.runtime.device import AMCCADevice
@@ -98,6 +97,7 @@ def analyze_congestion(device: AMCCADevice,
     root blocks live on that cell and their degrees, which is how the
     snowball frontier congestion becomes visible.
     """
+    require_numpy("congestion analysis")
     config = device.config
     cells = device.simulator.cells
     tasks = np.array([c.tasks_executed for c in cells], dtype=np.int64)

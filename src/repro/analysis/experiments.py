@@ -18,8 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-import numpy as np
-
+from repro._compat import np, require_numpy
 from repro.arch.config import ChipConfig
 from repro.arch.energy import EnergyModel, EnergyReport
 from repro.algorithms.bfs import StreamingBFS
@@ -85,6 +84,7 @@ def run_streaming_experiment(
     disables the subsequent propagation of ``bfs-action`` when an edge is
     inserted, isolating the streaming-ingestion cost.
     """
+    require_numpy("run_streaming_experiment (activation series)")
     chip = chip or ChipConfig.paper_chip()
     device = AMCCADevice(chip, trace_every=trace_every, energy_model=energy_model)
     graph = DynamicGraph(

@@ -15,8 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
+from repro._compat import np, require_numpy
 from repro.analysis.experiments import ExperimentResult
 
 
@@ -61,6 +60,7 @@ def activation_figure(result: ExperimentResult, title: str = "") -> FigureData:
 
 def downsample_series(values: Sequence[float], max_points: int = 200) -> np.ndarray:
     """Downsample a long per-cycle series by block averaging (for plotting)."""
+    require_numpy("figure series downsampling")
     arr = np.asarray(values, dtype=float)
     if arr.size <= max_points or max_points <= 0:
         return arr

@@ -73,7 +73,6 @@ class ComputeCell:
         "messages_staged",
         "tasks_executed",
         "allocations",
-        "busy_cycles",
     )
 
     def __init__(self, cc_id: int, x: int, y: int) -> None:
@@ -97,7 +96,17 @@ class ComputeCell:
         self.messages_staged = 0
         self.tasks_executed = 0
         self.allocations = 0
-        self.busy_cycles = 0
+
+    @property
+    def busy_cycles(self) -> int:
+        """Cycles this cell performed an operation.
+
+        Every busy cycle is exactly one executed instruction or one staged
+        message, so the counter is derived instead of stored -- one fewer
+        increment on the per-operation hot path, and it provably cannot
+        drift from its components.
+        """
+        return self.instructions_executed + self.messages_staged
 
     # ------------------------------------------------------------------
     # Memory
@@ -179,7 +188,6 @@ class ComputeCell:
         if self._remaining_instructions > 0:
             self._remaining_instructions -= 1
             self.instructions_executed += 1
-            self.busy_cycles += 1
             if self._remaining_instructions == 0 and self._held_messages:
                 self.staging.extend(self._held_messages)
                 self._held_messages = []
@@ -188,7 +196,6 @@ class ComputeCell:
         # 2. Drain the output staging queue (one message per cycle).
         if self.staging:
             self.messages_staged += 1
-            self.busy_cycles += 1
             return "stage"
 
         # 3. Start the next queued task.
@@ -199,7 +206,6 @@ class ComputeCell:
                 cost = 1
             self.tasks_executed += 1
             self.instructions_executed += 1
-            self.busy_cycles += 1
             self._remaining_instructions = cost - 1
             if self._remaining_instructions == 0:
                 if messages:

@@ -45,12 +45,20 @@ class ChipConfig:
     max_message_words:
         Maximum operand payload (in 32-bit words) that fits in a single-flit
         message.  Larger payloads are charged extra hops by the NoC.
+    kernel:
+        Implementation of the NoC hot loop: ``"python"`` (pure-Python sweep),
+        ``"numpy"`` (vectorised array kernel, requires numpy) or ``"auto"``
+        (numpy when importable, honouring the ``REPRO_KERNEL`` environment
+        variable; pure Python otherwise).  The kernel is a *speed* knob only:
+        every kernel produces the bit-identical deterministic schedule, so it
+        is not part of any experiment's identity (see docs/architecture.md).
     """
 
     width: int = 32
     height: int = 32
     routing: str = "yx"
     fidelity: str = "cycle"
+    kernel: str = "auto"
     io_sides: Tuple[str, ...] = ("west", "east")
     clock_ghz: float = 1.0
     link_width_bits: int = 256
@@ -68,6 +76,8 @@ class ChipConfig:
             raise ValueError(f"unknown routing policy {self.routing!r}")
         if self.fidelity not in ("cycle", "latency", "cycle-ref"):
             raise ValueError(f"unknown NoC fidelity {self.fidelity!r}")
+        if self.kernel not in ("auto", "python", "numpy"):
+            raise ValueError(f"unknown kernel {self.kernel!r}")
         bad = set(self.io_sides) - {"west", "east", "north", "south"}
         if bad:
             raise ValueError(f"unknown IO sides: {sorted(bad)}")

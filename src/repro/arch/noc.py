@@ -59,9 +59,34 @@ class BaseNoC:
         """Accept a newly staged message from a compute cell or IO cell."""
         raise NotImplementedError
 
+    def inject_many(self, msgs: List[Message], cycle: int) -> None:
+        """Inject a same-cycle batch, in order (IO phase).
+
+        Semantically one :meth:`inject` per message; models with a
+        vectorised kernel override this with a batched implementation.
+        """
+        for msg in msgs:
+            self.inject(msg, cycle)
+
     def advance(self, cycle: int) -> List[Message]:
         """Advance the network by one cycle and return delivered messages."""
         raise NotImplementedError
+
+    # -- event-driven fast-forward (see Simulator.run) -----------------
+    def idle_horizon(self, cycle: int) -> int:
+        """Latest cycle the clock may jump to without any schedule effect.
+
+        A model returns ``cycle`` (no skipping) unless it can prove that
+        advancing every cycle in ``(cycle, horizon)`` is pure predictable
+        drift: no delivery, no contention and no ordering decision can
+        occur before ``horizon``.  :meth:`fast_forward` applies that drift
+        in closed form.
+        """
+        return cycle
+
+    def fast_forward(self, span: int) -> None:
+        """Apply ``span`` cycles of predictable drift declared by
+        :meth:`idle_horizon` (caller guarantees ``span`` is within it)."""
 
     @property
     def is_empty(self) -> bool:
@@ -217,6 +242,36 @@ class CycleAccurateNoC(BaseNoC):
         self._next_active = active
         return delivered
 
+    # ------------------------------------------------------------------
+    # Event-driven fast-forward: a lone in-flight message cannot contend
+    # with anything, so its remaining hops (bar the delivering one) are
+    # pure drift the simulator may apply in closed form.
+    # ------------------------------------------------------------------
+    def idle_horizon(self, cycle: int) -> int:
+        if self.in_flight != 1 or self._local_deliveries:
+            return cycle
+        msg = self._queues[self._active[0]][0]
+        return cycle + (len(msg._noc_route) - msg._noc_hop) - 1
+
+    def fast_forward(self, span: int) -> None:
+        lid = self._active[0]
+        msg = self._queues[lid].popleft()
+        route = msg._noc_route
+        i = msg._noc_hop
+        msg._noc_hop = i + span
+        msg.hops += span
+        nlid = route[i + span]
+        self._queues[nlid].append(msg)
+        self._active[0] = nlid
+        self._stamp[lid] = 0
+        self._stamp[nlid] = self._sweep
+        stats = self.stats
+        stats.link_busy += span
+        per_link = stats.link_busy_per_link
+        if per_link is not None:
+            for k in range(i + 1, i + span + 1):
+                per_link[route[k]] += 1
+
     @property
     def is_empty(self) -> bool:
         return self.in_flight == 0 and not self._local_deliveries
@@ -331,7 +386,7 @@ class LatencyNoC(BaseNoC):
     """
 
     def __init__(self, config: ChipConfig, routing: RoutingPolicy, stats: SimStats,
-                 batched: bool = True) -> None:
+                 batched: bool = True, vectorized: bool = False) -> None:
         super().__init__(config, routing, stats)
         self.batched = batched
         self._heap: List[Tuple[int, int, Message]] = []
@@ -339,6 +394,21 @@ class LatencyNoC(BaseNoC):
         #: batched mode: deadline -> messages, plus a heap of distinct deadlines.
         self._buckets: Dict[int, List[Message]] = {}
         self._deadlines: List[int] = []
+        #: numpy kernel: same-cycle injection batches are bucketed with array
+        #: ops (Manhattan distances, flit charges and deadline grouping all
+        #: vectorised).  Delivery order is identical either way.
+        self.vectorized = vectorized and batched
+        self._coords_np = None
+
+    def _coord_arrays(self):
+        """Lazily built per-cell coordinate arrays for the vector inject."""
+        if self._coords_np is None:
+            from repro._compat import np
+            n = self.config.num_cells
+            cells = np.arange(n, dtype=np.int64)
+            self._coords_np = (cells % self.config.width,
+                               cells // self.config.width)
+        return self._coords_np
 
     def inject(self, msg: Message, cycle: int) -> None:
         msg.created_cycle = cycle if msg.created_cycle < 0 else msg.created_cycle
@@ -359,6 +429,47 @@ class LatencyNoC(BaseNoC):
         else:
             heapq.heappush(self._heap, (deliver_at, next(self._seq), msg))
         self.in_flight += 1
+
+    def inject_many(self, msgs: List[Message], cycle: int) -> None:
+        """Bucket a same-cycle injection batch with one set of array ops."""
+        if not self.vectorized or len(msgs) < 8:
+            for msg in msgs:
+                self.inject(msg, cycle)
+            return
+        from repro._compat import np
+        n = len(msgs)
+        xs, ys = self._coord_arrays()
+        srcs = np.fromiter((m.src for m in msgs), dtype=np.int64, count=n)
+        dsts = np.fromiter((m.dst for m in msgs), dtype=np.int64, count=n)
+        sizes = np.fromiter((m.size_words for m in msgs), dtype=np.int64, count=n)
+        dist = np.abs(xs[srcs] - xs[dsts]) + np.abs(ys[srcs] - ys[dsts])
+        fw = max(1, self.config.max_message_words)
+        flits = np.maximum(1, -(-sizes // fw))
+        stats = self.stats
+        stats.messages_injected += n
+        stats.hops += int((dist * flits).sum())
+        deliver = cycle + np.maximum(1, dist)
+        dist_l = dist.tolist()
+        deliver_l = deliver.tolist()
+        buckets = self._buckets
+        deadlines = self._deadlines
+        for msg, d, at in zip(msgs, dist_l, deliver_l):
+            if msg.created_cycle < 0:
+                msg.created_cycle = cycle
+            msg.hops = d
+            bucket = buckets.get(at)
+            if bucket is None:
+                buckets[at] = [msg]
+                heapq.heappush(deadlines, at)
+            else:
+                bucket.append(msg)
+        self.in_flight += n
+
+    def idle_horizon(self, cycle: int) -> int:
+        """Nothing can deliver before the earliest deadline."""
+        if self.batched:
+            return self._deadlines[0] if self._deadlines else cycle
+        return self._heap[0][0] if self._heap else cycle
 
     def advance(self, cycle: int) -> List[Message]:
         delivered: List[Message] = []
@@ -383,10 +494,21 @@ class LatencyNoC(BaseNoC):
 
 
 def build_noc(config: ChipConfig, stats: SimStats, routing: RoutingPolicy | None = None) -> BaseNoC:
-    """Construct the NoC model selected by ``config.fidelity``."""
+    """Construct the NoC model selected by ``config.fidelity`` and kernel.
+
+    ``config.kernel`` (plus the ``REPRO_KERNEL`` environment variable, see
+    :func:`repro.arch.kernels.resolve_kernel`) picks the sweep
+    implementation for the cycle and latency fidelities; the reference
+    model always runs the dictionary implementation it specifies.
+    """
     routing = routing or make_routing(config)
-    if config.fidelity == "cycle":
-        return CycleAccurateNoC(config, routing, stats)
     if config.fidelity == "cycle-ref":
         return ReferenceCycleAccurateNoC(config, routing, stats)
-    return LatencyNoC(config, routing, stats)
+    from repro.arch.kernels import NumpyCycleAccurateNoC, resolve_kernel
+
+    kernel = resolve_kernel(config)
+    if config.fidelity == "cycle":
+        if kernel == "numpy":
+            return NumpyCycleAccurateNoC(config, routing, stats)
+        return CycleAccurateNoC(config, routing, stats)
+    return LatencyNoC(config, routing, stats, vectorized=kernel == "numpy")

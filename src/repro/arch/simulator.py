@@ -24,7 +24,7 @@ from repro.arch.cell import ComputeCell, Task
 from repro.arch.config import ChipConfig
 from repro.arch.energy import EnergyModel, EnergyReport, estimate_energy
 from repro.arch.io_system import IOSystem
-from repro.arch.message import Message
+from repro.arch.message import Message, release_message
 from repro.arch.noc import BaseNoC, build_noc
 from repro.arch.routing import RoutingPolicy, make_routing
 from repro.arch.stats import SimStats
@@ -102,6 +102,14 @@ class Simulator:
         self._parked_count = 0
         self._wake_buckets: Dict[int, List[Tuple[int, int]]] = {}
         self._fast_park = trace_every <= 0
+        #: Event-driven cycle skipping (see ``run``): when nothing observable
+        #: can happen before a known future cycle -- every busy cell parked,
+        #: IO drained, and the NoC idle or in pure predictable drift -- the
+        #: clock jumps there with all per-cycle accounting applied in closed
+        #: form.  The schedule is provably unchanged; the flag exists so
+        #: tests can compare skipped and unskipped runs.  Disabled (like
+        #: parking) while tracing, which needs real per-cycle frames.
+        self.cycle_skip = True
         #: hooks run at the end of every cycle (used by terminators/monitors).
         self._cycle_hooks: List[Callable[[int], None]] = []
 
@@ -198,7 +206,6 @@ class Simulator:
         did_work = False
 
         noc = self.noc
-        noc_inject = noc.inject
         parked = self._parked
         cells = self.cells
 
@@ -212,7 +219,6 @@ class Simulator:
                 parked[cc_id] = 0
                 cell = cells[cc_id]
                 cell.instructions_executed += skipped
-                cell.busy_cycles += skipped
                 self.wake(cc_id)
             self._parked_count -= len(woken)
 
@@ -223,18 +229,25 @@ class Simulator:
         if parked_this_cycle:
             did_work = True
 
-        # 1. IO cells read one item each and create action messages.
+        # 1. IO cells read one item each and create action messages.  The
+        # batch enters the NoC through inject_many so vectorised kernels can
+        # bucket a whole injection wave with one set of array ops.
         io_msgs = self.io.step(cycle)
         if io_msgs:
             did_work = True
             self.stats.io_injections += len(io_msgs)
-            for msg in io_msgs:
-                noc_inject(msg, cycle)
+            if len(io_msgs) == 1:
+                noc.inject(io_msgs[0], cycle)
+            else:
+                noc.inject_many(io_msgs, cycle)
 
         # 2. NoC advances in-flight messages by one hop.
         delivered = noc.advance(cycle)
         if delivered:
             did_work = True
+        # Hoisted for the cell loop only after the advance: an adaptive
+        # kernel may swap its inject implementation during advance.
+        noc_inject = noc.inject
 
         # 3. Dispatch arrivals to their destination cells.  With an executor
         # installed the message itself takes the task-queue slot and runs in
@@ -289,7 +302,6 @@ class Simulator:
                 remaining -= 1
                 cell._remaining_instructions = remaining
                 cell.instructions_executed += 1
-                cell.busy_cycles += 1
                 if remaining == 0 and cell._held_messages:
                     cell.staging.extend(cell._held_messages)
                     cell._held_messages = []
@@ -298,7 +310,6 @@ class Simulator:
             elif cell.staging:
                 # Drain the output staging queue (one message per cycle).
                 cell.messages_staged += 1
-                cell.busy_cycles += 1
                 staged = cell.staging.popleft()
                 staged.created_cycle = cycle
                 noc_inject(staged, cycle)
@@ -310,11 +321,14 @@ class Simulator:
                 item = cell.task_queue.popleft()
                 if item.__class__ is Message:
                     cost, messages = executor(cell, item)
+                    if item._pooled:
+                        # Arena message: its action has run and nothing can
+                        # reference it again -- recycle the carrier.
+                        release_message(item)
                 else:
                     cost, messages = item.run()
                 cell.tasks_executed += 1
                 cell.instructions_executed += 1
-                cell.busy_cycles += 1
                 remaining = cost - 1
                 active_append(cc_id)
                 did_work = True
@@ -381,10 +395,32 @@ class Simulator:
             it returns True (used by terminator objects).
 
         Returns the number of cycles simulated by this call.
+
+        Event-driven cycle skipping: before each step, if no compute cell
+        has work, IO is drained, and the NoC is either empty (with cells
+        parked) or in pure predictable drift (a lone in-flight flit, or
+        latency mode between deadlines), the clock jumps straight to the
+        nearest wake/delivery/deadline cycle -- clamped to the cycle budget
+        -- with every per-cycle accrual applied in closed form.  Skipped
+        spans are observably identical to stepping through them, so the
+        deterministic schedule (and every statistic) is unchanged.
+
+        Contract note for ``until``: the predicate is evaluated after every
+        *executed* step, and nothing it can observe changes inside a
+        skipped span -- except the clock itself.  A predicate that watches
+        ``sim.cycle`` (rather than simulator events) may therefore see the
+        clock land past its threshold; set ``cycle_skip = False`` to step
+        every cycle for such callers.
         """
         start = self.cycle
         budget = max_cycles if max_cycles is not None else float("inf")
+        skip_ok = self.cycle_skip and self._fast_park
         while (self.cycle - start) < budget:
+            if (skip_ok and not self._active_cells and not self.io._pending
+                    and not self._cycle_hooks):
+                self._maybe_fast_forward(start + budget)
+                if (self.cycle - start) >= budget:
+                    break
             self.step()
             if until is not None:
                 if until():
@@ -392,6 +428,49 @@ class Simulator:
             elif self.is_quiescent:
                 break
         return self.cycle - start
+
+    def _maybe_fast_forward(self, hard_stop) -> None:
+        """Jump the clock to the nearest future event, if one is provable.
+
+        Caller has established: no active cells, no pending IO, no cycle
+        hooks, tracing off.  The jump target is the earliest of the next
+        parked-cell wake and the NoC's idle horizon, clamped to
+        ``hard_stop`` (the run's cycle budget); per-cycle series, cycle
+        counts and link-busy accounting accrue in closed form for the
+        skipped span.
+        """
+        noc = self.noc
+        cycle = self.cycle
+        in_flight = noc.in_flight
+        if in_flight == 0:
+            # Only parked cells remain: jump to the nearest wake.
+            if not self._wake_buckets or not self._parked_count \
+                    or not noc.is_empty:
+                return
+            target = min(self._wake_buckets)
+        else:
+            # Cheap rejection first: the O(#wake-buckets) min() only runs
+            # once the NoC has proven a nontrivial idle horizon.
+            horizon = noc.idle_horizon(cycle)
+            if horizon <= cycle:
+                return
+            target = (min(min(self._wake_buckets), horizon)
+                      if self._wake_buckets else horizon)
+        if target > hard_stop:
+            target = int(hard_stop)
+        span = target - cycle
+        if span <= 0:
+            return
+        if in_flight:
+            noc.fast_forward(span)
+        stats = self.stats
+        stats.cycles += span
+        # Parked cells burn one virtual instruction per skipped cycle and
+        # count as active; nothing is delivered before the horizon.
+        stats.active_cells_per_cycle.extend([self._parked_count] * span)
+        stats.messages_in_flight_per_cycle.extend([in_flight] * span)
+        stats.deliveries_per_cycle.extend([0] * span)
+        self.cycle = target
 
     # ------------------------------------------------------------------
     # Reporting
@@ -416,8 +495,37 @@ class Simulator:
                 memory_words=cell.memory_words,
             )
 
+    def _reconcile_parked(self) -> None:
+        """Credit parked cells' virtual burns up to the current cycle.
+
+        A parked cell's skipped instruction decrements are normally accrued
+        when its wake bucket fires.  If a run is truncated by a
+        ``max_cycles`` budget mid-park, the bucket has not fired yet and the
+        burns already (virtually) executed would be missing from
+        ``instructions_executed`` / ``busy_cycles``.  This credits exactly
+        the elapsed portion and shrinks the bucket entry by the same amount,
+        so it is idempotent, safe mid-run, and never double-counts when the
+        wake eventually fires in a resumed run.
+        """
+        if not self._wake_buckets:
+            return
+        now = self.cycle
+        cells = self.cells
+        for wake, entries in self._wake_buckets.items():
+            elapsed = now - wake
+            for idx, (cc_id, skipped) in enumerate(entries):
+                count = elapsed + skipped
+                if count <= 0:
+                    continue
+                if count > skipped:  # pragma: no cover - bucket would have fired
+                    count = skipped
+                cell = cells[cc_id]
+                cell.instructions_executed += count
+                entries[idx] = (cc_id, skipped - count)
+
     def finalize(self) -> SimStats:
         """Refresh aggregate accounting and return the statistics object."""
+        self._reconcile_parked()
         self.collect_cell_counters()
         return self.stats
 

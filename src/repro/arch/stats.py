@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
+from repro._compat import np, require_numpy
 
 
 @dataclass
@@ -98,25 +98,41 @@ class SimStats:
     # ------------------------------------------------------------------
     # Derived series
     # ------------------------------------------------------------------
-    def activation_series(self) -> np.ndarray:
+    def activation_series(self) -> "np.ndarray":
         """Fraction of compute cells active per cycle (values in [0, 1])."""
+        require_numpy("SimStats.activation_series")
         if self.num_cells <= 0:
             return np.zeros(0)
         return np.asarray(self.active_cells_per_cycle, dtype=float) / self.num_cells
 
-    def activation_percent(self) -> np.ndarray:
+    def activation_percent(self) -> "np.ndarray":
         """Percent of compute cells active per cycle (Figures 6 and 7)."""
         return self.activation_series() * 100.0
 
     def mean_activation(self) -> float:
-        """Mean activation fraction across the whole run."""
-        series = self.activation_series()
-        return float(series.mean()) if series.size else 0.0
+        """Mean activation fraction across the whole run.
+
+        With numpy present this is bit-for-bit the historical
+        ``activation_series().mean()`` (so stored records stay comparable);
+        the pure-Python fallback may differ in the last ulp.
+        """
+        if np is not None:
+            series = self.activation_series()
+            return float(series.mean()) if series.size else 0.0
+        cells = self.active_cells_per_cycle
+        if self.num_cells <= 0 or not cells:
+            return 0.0
+        return sum(c / self.num_cells for c in cells) / len(cells)
 
     def peak_activation(self) -> float:
         """Peak activation fraction across the whole run."""
-        series = self.activation_series()
-        return float(series.max()) if series.size else 0.0
+        if np is not None:
+            series = self.activation_series()
+            return float(series.max()) if series.size else 0.0
+        cells = self.active_cells_per_cycle
+        if self.num_cells <= 0 or not cells:
+            return 0.0
+        return max(cells) / self.num_cells
 
     def phase_cycles(self) -> Dict[str, int]:
         """Cycles spent in each named phase (difference of consecutive marks)."""

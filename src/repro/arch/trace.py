@@ -12,8 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-import numpy as np
-
+from repro._compat import np, require_numpy
 from repro.arch.config import ChipConfig
 
 
@@ -23,7 +22,7 @@ class TraceRecorder:
 
     config: ChipConfig
     sample_every: int = 0  # 0 disables tracing
-    frames: List[np.ndarray] = field(default_factory=list)
+    frames: List["np.ndarray"] = field(default_factory=list)
     frame_cycles: List[int] = field(default_factory=list)
 
     @property
@@ -34,6 +33,7 @@ class TraceRecorder:
         """Record a frame if the cycle falls on the sampling grid."""
         if not self.enabled or cycle % self.sample_every != 0:
             return
+        require_numpy("trace recording")
         grid = np.zeros((self.config.height, self.config.width), dtype=np.uint8)
         for cc in active_cell_ids:
             x, y = self.config.coords_of(cc)
@@ -59,6 +59,7 @@ class TraceRecorder:
 
     def save_npz(self, path: str) -> None:
         """Save all frames to a compressed ``.npz`` file."""
+        require_numpy("trace export")
         np.savez_compressed(
             path,
             frames=np.stack(self.frames) if self.frames else np.zeros((0, 0, 0)),

@@ -169,6 +169,7 @@ def cmd_suite_run(args: argparse.Namespace) -> int:
         shard_increments=args.shard_increments,
         timeout=args.timeout,
         expect_cached=args.expect_cached,
+        kernel=args.kernel,
     )
     print(
         f"\nsuite {args.preset!r}: {len(report.outcomes)} scenarios, "
@@ -310,7 +311,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(exc.args[0], file=sys.stderr)
         return 2
     results = run_bench(scenarios, reps=args.reps,
-                        progress=lambda line: print(line, flush=True))
+                        progress=lambda line: print(line, flush=True),
+                        kernel=args.kernel)
     from repro.analysis.tables import render_table
     print()
     print(render_table([
@@ -323,7 +325,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         for r in results
     ]))
     payload = bench_payload(results, tag=args.tag, suite=args.suite,
-                            reps=args.reps)
+                            reps=args.reps, kernel=args.kernel)
     if args.json:
         path = write_bench(args.json, payload)
         print(f"\nwrote {path}")
@@ -404,7 +406,8 @@ def build_parser() -> argparse.ArgumentParser:
             help="JSONL result store path (default: results/suite.jsonl)",
         )
         sp.add_argument(
-            "--tables", nargs="+", choices=("suite", "table1", "table2"),
+            "--tables", nargs="+",
+            choices=("suite", "table1", "table2", "activation"),
             default=None, help="report sections to print (default: all with data)",
         )
 
@@ -432,6 +435,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--expect-cached", action="store_true",
                        help="fail (exit 1) if any scenario would be computed "
                             "instead of served from the store")
+    p_run.add_argument("--kernel", choices=("auto", "python", "numpy"),
+                       default=None,
+                       help="pin the NoC kernel for every scenario (speed "
+                            "knob only: schedules and cache keys are "
+                            "identical across kernels)")
     _add_report_args(p_run)
     p_run.set_defaults(func=cmd_suite_run)
 
@@ -481,6 +489,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="compare against this bench JSON; exit 1 on regression")
     p_bench.add_argument("--tolerance", type=float, default=0.25,
                          help="tolerated relative cycles/sec drop (default 0.25)")
+    p_bench.add_argument("--kernel", choices=("auto", "python", "numpy"),
+                         default=None,
+                         help="pin the NoC kernel for every workload "
+                              "(cycle counts are kernel-independent, so the "
+                              "delta is pure implementation speed)")
     p_bench.set_defaults(func=cmd_bench)
 
     return parser

@@ -13,8 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-import numpy as np
-
+from repro._compat import np, require_numpy
 from repro.graph.rpvo import Edge
 
 
@@ -65,12 +64,12 @@ class SBMParams:
             raise ValueError("degree_exponent must be > 1")
 
 
-def block_of(params: SBMParams, vids: np.ndarray) -> np.ndarray:
+def block_of(params: SBMParams, vids: "np.ndarray") -> "np.ndarray":
     """Block index of each vertex id (contiguous assignment)."""
     return (vids.astype(np.int64) * params.num_blocks) // params.num_vertices
 
 
-def _block_bounds(params: SBMParams) -> np.ndarray:
+def _block_bounds(params: SBMParams) -> "np.ndarray":
     """Start offsets of each block, plus a final sentinel at num_vertices."""
     blocks = np.arange(params.num_blocks + 1, dtype=np.int64)
     return np.ceil(blocks * params.num_vertices / params.num_blocks).astype(np.int64)
@@ -78,6 +77,7 @@ def _block_bounds(params: SBMParams) -> np.ndarray:
 
 def generate_sbm_arrays(params: SBMParams) -> "tuple[np.ndarray, np.ndarray]":
     """Sample the edge list as a pair of NumPy arrays ``(srcs, dsts)``."""
+    require_numpy("SBM dataset generation")
     rng = np.random.default_rng(params.seed)
     n, m = params.num_vertices, params.num_edges
 

@@ -46,6 +46,7 @@ from repro.harness.registry import (
     register_suite,
 )
 from repro.harness.report import (
+    activation_rows_from_records,
     increment_figures_from_records,
     render_store_diff,
     render_suite_report,
@@ -79,6 +80,7 @@ from repro.harness.store import (
 __all__ = [
     "ALGORITHMS",
     "BENCH_SCHEMA",
+    "activation_rows_from_records",
     "BenchComparison",
     "ChipSpec",
     "DatasetSpec",

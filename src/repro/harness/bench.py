@@ -76,8 +76,14 @@ def run_bench(
     *,
     reps: int = DEFAULT_REPS,
     progress: Optional[Callable[[str], None]] = None,
+    kernel: Optional[str] = None,
 ) -> List[WorkloadResult]:
-    """Benchmark each scenario ``reps`` times in interleaved order."""
+    """Benchmark each scenario ``reps`` times in interleaved order.
+
+    ``kernel`` pins the NoC kernel for every workload (the point of
+    benching both: kernels are schedule-identical, so any cycles/sec delta
+    is pure implementation speed).
+    """
     if reps < 1:
         raise ValueError("reps must be >= 1")
     say = progress or (lambda _msg: None)
@@ -85,7 +91,7 @@ def run_bench(
     for rep in range(reps):
         for scenario in scenarios:
             timings: Dict[str, float] = {}
-            record = run_scenario(scenario, timings=timings)
+            record = run_scenario(scenario, timings=timings, kernel=kernel)
             cycles = record["total_cycles"]
             current = results.get(scenario.name)
             if current is None:
@@ -112,13 +118,20 @@ def bench_payload(
     tag: str,
     suite: str,
     reps: int,
+    kernel: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """The schema-versioned JSON document a bench run emits."""
+    """The schema-versioned JSON document a bench run emits.
+
+    ``kernel`` records which NoC kernel the run was pinned to (``"auto"``
+    when unpinned); informational, so older readers of the schema are
+    unaffected.
+    """
     return {
         "schema": BENCH_SCHEMA,
         "tag": tag,
         "suite": suite,
         "reps": reps,
+        "kernel": kernel or "auto",
         "repro_version": __version__,
         "platform": {
             "python": platform.python_version(),

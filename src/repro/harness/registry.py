@@ -242,6 +242,35 @@ register_suite("noc-sweep",
                _noc_sweep)
 
 
+def _figures_500k() -> List[Scenario]:
+    """Figures 6/7/9 workloads as a stored suite (ports ``bench_fig6/7/9``).
+
+    The 500 K-class GraphChallenge configuration at benchmark floors (the
+    same inputs the pytest benchmarks run at ``REPRO_BENCH_SCALE=tiny``),
+    edge and snowball sampling, ingestion-only (Figure 6) and with BFS
+    (Figure 7); the per-increment cycle series of each pair is Figure 9.
+    Stored records carry the increment cycle series plus the mean/peak
+    activation summary, so ``repro suite show --preset figures-500k``
+    rebuilds the figures' content from the shared store without re-running.
+    """
+    by_name = {s.name: s
+               for s in build_paper_suite(1 / 500, benchmark_floors=True)}
+    return [
+        by_name[f"graphchallenge-500k-{sampling}-{algorithm}"].with_(
+            name=f"fig-500k-{sampling}-{algorithm}")
+        for sampling in ("edge", "snowball")
+        for algorithm in ("ingest", "bfs")
+    ]
+
+
+register_suite(
+    "figures-500k",
+    "Figures 6/7/9 workloads: 500K-class x {edge,snowball} x {ingest,bfs} "
+    "at benchmark floors (4 scenarios)",
+    _figures_500k,
+)
+
+
 def _perf_suite() -> List[Scenario]:
     """Fixed workloads behind ``repro bench`` (cycles/sec tracking).
 

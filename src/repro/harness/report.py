@@ -110,6 +110,31 @@ def table2_rows_from_records(records: Sequence[Record]) -> List[Dict[str, object
     return rows
 
 
+def activation_rows_from_records(records: Sequence[Record]) -> List[Dict[str, object]]:
+    """Figure 6/7 analogue: per-scenario cell-activation summaries.
+
+    The full per-cycle activation series is not persisted in records (it is
+    O(cycles) per scenario); the stored mean/peak pair captures the
+    figures' headline content — sustained parallel activity during
+    streaming, higher with BFS enabled — for every scenario in the store.
+    """
+    rows: List[Dict[str, object]] = []
+    for record in records:
+        stats = record.get("stats") or {}
+        if "mean_activation" not in stats:
+            continue
+        rows.append(
+            {
+                "Scenario": record["name"],
+                "Algorithm": record["scenario"]["algorithm"],
+                "Cycles": record["total_cycles"],
+                "Mean Active %": round(100 * stats["mean_activation"], 2),
+                "Peak Active %": round(100 * stats["peak_activation"], 2),
+            }
+        )
+    return rows
+
+
 def increment_figures_from_records(records: Sequence[Record]) -> List[FigureData]:
     """Figure 8/9 analogues (cycles per increment) from paired records."""
     figures: List[FigureData] = []
@@ -133,10 +158,11 @@ def render_suite_report(records: Sequence[Record], *,
                         tables: Optional[Sequence[str]] = None) -> str:
     """Render a full text report for a suite's records.
 
-    ``tables`` selects sections out of ``("suite", "table1", "table2")``;
-    by default every section that has data is included.
+    ``tables`` selects sections out of ``("suite", "table1", "table2",
+    "activation")``; by default every section that has data is included.
     """
-    wanted = tuple(tables) if tables is not None else ("suite", "table1", "table2")
+    wanted = (tuple(tables) if tables is not None
+              else ("suite", "table1", "table2", "activation"))
     sections: List[str] = []
     if "suite" in wanted:
         sections.append("Suite results:\n"
@@ -150,6 +176,11 @@ def render_suite_report(records: Sequence[Record], *,
         rows = table2_rows_from_records(records)
         if rows:
             sections.append("Table 2 analogue (energy and time):\n"
+                            + render_table(rows, max_width=36))
+    if "activation" in wanted:
+        rows = activation_rows_from_records(records)
+        if rows:
+            sections.append("Figure 6/7 analogue (cell activation):\n"
                             + render_table(rows, max_width=36))
     return "\n\n".join(sections)
 

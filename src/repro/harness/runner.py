@@ -139,6 +139,7 @@ def _execute_span(
     stop: Optional[int],
     want_final: bool,
     timings: Optional[Dict[str, float]] = None,
+    kernel: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run increments ``[0, stop)``, measuring only ``[start, stop)``.
 
@@ -149,12 +150,16 @@ def _execute_span(
 
     ``timings``, when given, receives wall-clock phase durations
     (``setup_s``, ``sim_s``) for the benchmark driver; they never enter the
-    returned payload, which stays fully deterministic.
+    returned payload, which stays fully deterministic.  ``kernel``
+    overrides the scenario's NoC kernel pin (a speed knob only: records
+    are bit-identical across kernels).
     """
     opts: RunOptions = scenario.options
     t0 = time.perf_counter()
     dataset = materialize_dataset(scenario.dataset)
     chip = scenario.chip.to_chip_config()
+    if kernel is not None:
+        chip = chip.with_(kernel=kernel)
     device = AMCCADevice(chip)
     graph = DynamicGraph(
         device,
@@ -245,10 +250,11 @@ def _assemble_record(
 # Single-scenario execution
 # ----------------------------------------------------------------------
 def run_scenario(
-    scenario: Scenario, *, timings: Optional[Dict[str, float]] = None
+    scenario: Scenario, *, timings: Optional[Dict[str, float]] = None,
+    kernel: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Execute one scenario end to end and return its result record."""
-    part = _execute_span(scenario, 0, None, True, timings)
+    part = _execute_span(scenario, 0, None, True, timings, kernel)
     return _assemble_record(scenario, part["increment_cycles"], part["final"])
 
 
@@ -260,14 +266,20 @@ def shard_spans(num_increments: int, shards: int) -> List[Tuple[int, int]]:
 
 
 def _span_task(spec: Dict[str, Any], start: int, stop: int,
-               want_final: bool) -> Dict[str, Any]:
-    """Pool task: one shard of one scenario (module-level, picklable)."""
-    return _execute_span(Scenario.from_dict(spec), start, stop, want_final)
+               want_final: bool, kernel: Optional[str] = None) -> Dict[str, Any]:
+    """Pool task: one shard of one scenario (module-level, picklable).
+
+    ``kernel`` rides alongside the spec because :meth:`Scenario.spec_dict`
+    deliberately strips the (identity-free) kernel pin.
+    """
+    return _execute_span(Scenario.from_dict(spec), start, stop, want_final,
+                         kernel=kernel)
 
 
-def _scenario_task(spec: Dict[str, Any]) -> Dict[str, Any]:
+def _scenario_task(spec: Dict[str, Any],
+                   kernel: Optional[str] = None) -> Dict[str, Any]:
     """Pool task: one whole scenario (module-level, picklable)."""
-    return run_scenario(Scenario.from_dict(spec))
+    return run_scenario(Scenario.from_dict(spec), kernel=kernel)
 
 
 def _merge_shard_parts(
@@ -297,6 +309,7 @@ def run_scenario_sharded(
     *,
     pool: Optional[WorkerPool] = None,
     timeout: Optional[float] = None,
+    kernel: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one scenario as sharded spans and merge — byte-identical to serial.
 
@@ -307,12 +320,13 @@ def run_scenario_sharded(
     """
     spans = shard_spans(scenario.dataset.num_increments, shards)
     spec = scenario.spec_dict()
+    effective = kernel if kernel is not None else scenario.chip.kernel
     last = spans[-1][1]
     if pool is None:
-        parts = [_span_task(spec, a, b, b == last) for a, b in spans]
+        parts = [_span_task(spec, a, b, b == last, effective) for a, b in spans]
     else:
         outcomes = pool.run_tasks(
-            [(_span_task, (spec, a, b, b == last)) for a, b in spans],
+            [(_span_task, (spec, a, b, b == last, effective)) for a, b in spans],
             timeout=timeout,
         )
         for outcome in outcomes:
@@ -390,6 +404,7 @@ def run_suite(
     timeout: Optional[float] = None,
     expect_cached: bool = False,
     pool: Optional[WorkerPool] = None,
+    kernel: Optional[str] = None,
 ) -> SuiteReport:
     """Run a suite of scenarios, consulting and filling the result store.
 
@@ -422,6 +437,11 @@ def run_suite(
         Explicit :class:`WorkerPool` to run on; defaults to the process-wide
         shared pool (:func:`~repro.harness.pool.get_pool`), which persists
         between calls so repeated suites reuse warm workers.
+    kernel:
+        Override every scenario's NoC kernel pin (``"python"``/``"numpy"``/
+        ``"auto"``).  A speed knob only: records, spec hashes and cache
+        behaviour are identical across kernels, so this composes freely
+        with the store.
     """
     say = progress or (lambda _msg: None)
     started = time.perf_counter()
@@ -456,7 +476,7 @@ def run_suite(
             outcomes = _run_pending_pooled(
                 scenarios, pending, pool or get_pool(workers),
                 shard_increments=shard_increments, timeout=timeout,
-                max_workers=workers,
+                max_workers=workers, kernel=kernel,
             )
         else:
             # Serial in-process path.  Sharding still executes span-by-span
@@ -465,9 +485,10 @@ def run_suite(
             outcomes = []
             for i in pending:
                 if shard_increments > 1:
-                    record = run_scenario_sharded(scenarios[i], shard_increments)
+                    record = run_scenario_sharded(scenarios[i], shard_increments,
+                                                  kernel=kernel)
                 else:
-                    record = run_scenario(scenarios[i])
+                    record = run_scenario(scenarios[i], kernel=kernel)
                 outcomes.append(
                     ScenarioOutcome(scenarios[i], record, cached=False))
         fresh_records = []
@@ -504,6 +525,7 @@ def _run_pending_pooled(
     shard_increments: int,
     timeout: Optional[float],
     max_workers: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> List[ScenarioOutcome]:
     """Run pending scenarios on a pool, sharding each when asked to.
 
@@ -515,16 +537,17 @@ def _run_pending_pooled(
     task_owner: List[int] = []  # task index -> position in `pending`
     for pos, i in enumerate(pending):
         scenario = scenarios[i]
+        effective = kernel if kernel is not None else scenario.chip.kernel
         spans = (shard_spans(scenario.dataset.num_increments, shard_increments)
                  if shard_increments > 1 else [])
         if len(spans) > 1:
             last = spans[-1][1]
             spec = scenario.spec_dict()
             for a, b in spans:
-                tasks.append((_span_task, (spec, a, b, b == last)))
+                tasks.append((_span_task, (spec, a, b, b == last, effective)))
                 task_owner.append(pos)
         else:
-            tasks.append((_scenario_task, (scenario.spec_dict(),)))
+            tasks.append((_scenario_task, (scenario.spec_dict(), effective)))
             task_owner.append(pos)
 
     results = pool.run_tasks(tasks, timeout=timeout, max_workers=max_workers)

@@ -66,7 +66,17 @@ class DatasetSpec:
 
 @dataclass(frozen=True)
 class ChipSpec:
-    """Declarative description of the simulated chip for one scenario."""
+    """Declarative description of the simulated chip for one scenario.
+
+    ``kernel`` pins the NoC sweep implementation (``auto``/``python``/
+    ``numpy``, see :mod:`repro.arch.kernels`).  It is an **execution
+    detail, not part of the experiment's identity**: every kernel produces
+    the bit-identical schedule, so the field is excluded from
+    :meth:`Scenario.spec_dict` (and therefore from the spec hash, the graph
+    seed and stored records).  Pinning a kernel never invalidates caches --
+    and a record computed under one kernel is, by construction, the record
+    of every kernel.
+    """
 
     side: int = 32
     fidelity: str = "cycle"
@@ -74,6 +84,7 @@ class ChipSpec:
     edge_list_capacity: int = 16
     ghost_slots: int = 1
     clock_ghz: float = 1.0
+    kernel: str = "auto"
 
     def to_chip_config(self) -> ChipConfig:
         """Materialise into the simulator's :class:`ChipConfig`."""
@@ -85,6 +96,7 @@ class ChipSpec:
             edge_list_capacity=self.edge_list_capacity,
             ghost_slots=self.ghost_slots,
             clock_ghz=self.clock_ghz,
+            kernel=self.kernel,
         )
 
 
@@ -118,8 +130,18 @@ class Scenario:
     # Serialisation
     # ------------------------------------------------------------------
     def spec_dict(self) -> Dict[str, Any]:
-        """Nested plain-dict form of the scenario (JSON-serialisable)."""
-        return asdict(self)
+        """Nested plain-dict form of the scenario (JSON-serialisable).
+
+        The chip's ``kernel`` field is stripped: kernels produce
+        bit-identical schedules, so the serialised spec (and everything
+        derived from it: the canonical JSON, the spec hash, the graph seed,
+        the record's embedded scenario) is kernel-independent.  Runners
+        thread the pin alongside the spec where it matters (see
+        :func:`repro.harness.runner.run_suite`).
+        """
+        data = asdict(self)
+        data["chip"].pop("kernel", None)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Scenario":

@@ -21,7 +21,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.arch.address import Address
 from repro.arch.cell import ComputeCell, Task
-from repro.arch.message import Message
+from repro.arch.message import Message, acquire_message
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.runtime.device import AMCCADevice
@@ -161,18 +161,23 @@ class ActionContext:
         device = self.device
         registry = device.registry
         # Sibling-class private access: propagate runs once per diffused
-        # message, so the membership test and size lookup go straight to the
-        # registry dicts instead of through its method wrappers.
-        if action not in registry._handlers:
+        # message, so the membership test and size lookup fold into a single
+        # probe of the registry dicts instead of its method wrappers.
+        if size_words is None:
+            size_words = registry._sizes.get(action)
+            if size_words is None:
+                raise KeyError(f"cannot propagate unregistered action {action!r}")
+        elif action not in registry._handlers:
             raise KeyError(f"cannot propagate unregistered action {action!r}")
         cc_id = self.cell.cc_id
-        msg = Message(
-            src=cc_id,
-            dst=target.cc_id if target is not None else cc_id,
-            action=action,
-            target=target,
-            operands=operands,
-            size_words=size_words if size_words is not None else registry._sizes.get(action, 2),
+        # Arena message: recycled by the simulator once its action has run.
+        msg = acquire_message(
+            cc_id,
+            target.cc_id if target is not None else cc_id,
+            action,
+            target,
+            operands,
+            size_words,
         )
         # Outstanding-work accounting is batched in finish(): the handler
         # body runs atomically, so the terminator cannot observe the interim.

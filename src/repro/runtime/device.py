@@ -26,12 +26,12 @@ from repro.arch.address import Address
 from repro.arch.cell import ComputeCell, Task
 from repro.arch.config import ChipConfig
 from repro.arch.energy import EnergyModel, EnergyReport
-from repro.arch.message import Message
+from repro.arch.message import Message, acquire_message
 from repro.arch.simulator import Simulator
 from repro.arch.stats import SimStats
 from repro.runtime.actions import ActionContext, ActionHandler, ActionRegistry
 from repro.runtime.continuations import ContinuationManager
-from repro.runtime.terminator import Terminator
+from repro.runtime.terminator import TerminationError, Terminator
 
 #: Maps a streamed item to (target address, operand tuple) for its action.
 TargetFn = Callable[[Any], Tuple[Address, Tuple]]
@@ -106,13 +106,9 @@ class AMCCADevice:
         def factory(item: Any, attached_cc: int) -> Message:
             target, operands = target_fn(item)
             self.terminator_hook_sent()
-            return Message(
-                src=attached_cc,
-                dst=target.cc_id,
-                action=action,
-                target=target,
-                operands=operands,
-                size_words=size_words,
+            # Arena message: recycled by the simulator after execution.
+            return acquire_message(
+                attached_cc, target.cc_id, action, target, operands, size_words,
             )
 
         return self.simulator.io.register_transfer(items, factory)
@@ -208,10 +204,39 @@ class AMCCADevice:
         handler(ctx, target_obj, *msg.operands)
         terminator = self._terminator
         if terminator is not None:
-            terminator.on_completed()
+            # Inline of Terminator.on_completed (one call per executed
+            # message makes the wrapper measurable), including its
+            # fail-fast accounting guard.
+            terminator.outstanding -= 1
+            terminator.total_completed += 1
+            if terminator.outstanding < 0:
+                raise TerminationError(
+                    f"terminator {terminator.name!r} went negative "
+                    f"(completed {terminator.total_completed} > "
+                    f"sent {terminator.total_sent})"
+                )
         elif self._pre_run_sends > 0:
             self._pre_run_sends -= 1
-        return ctx.finish()
+        # Inline of ctx.finish() (kept in sync with ActionContext.finish,
+        # which remains the reference form for the Task path).
+        spawned = ctx._spawned_tasks
+        sent = 0
+        if spawned is not None:
+            enqueue = self.simulator.enqueue_task
+            for cc_id, task in spawned:
+                enqueue(cc_id, task)
+            sent = len(spawned)
+            ctx._spawned_tasks = None
+        msgs = ctx._messages
+        if msgs is not None:
+            sent += len(msgs)
+        if sent:
+            if terminator is not None:
+                terminator.outstanding += sent
+                terminator.total_sent += sent
+            else:
+                self._pre_run_sends += sent
+        return 1 + ctx._extra_cost, msgs if msgs is not None else []
 
     def _dispatch(self, cell: ComputeCell, msg: Message) -> Task:
         """Convert an arrived message into a runnable task.

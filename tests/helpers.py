@@ -12,11 +12,20 @@ from __future__ import annotations
 import random
 from typing import List, Tuple
 
+import pytest
+
+from repro._compat import HAVE_NUMPY
 from repro.arch.config import ChipConfig
 from repro.algorithms.bfs import StreamingBFS
 from repro.graph.graph import DynamicGraph
 from repro.graph.rpvo import Edge
 from repro.runtime.device import AMCCADevice
+
+#: Marker for tests that need numpy-backed features (dataset generation,
+#: analysis series).  The simulator itself runs numpy-free -- the no-numpy
+#: CI job executes everything that is not marked with this.
+requires_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="requires numpy (dataset generation / analysis)")
 
 
 def random_edges(num_vertices: int, num_edges: int, seed: int = 0,

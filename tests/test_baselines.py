@@ -14,7 +14,7 @@ from repro.baselines.static_recompute import static_recompute_bfs
 from repro.datasets.streaming import make_streaming_dataset
 from repro.graph.rpvo import Edge, INFINITY
 
-from helpers import random_edges
+from helpers import requires_numpy, random_edges
 
 
 class TestBuildNetworkx:
@@ -33,6 +33,7 @@ class TestBuildNetworkx:
         assert not g.is_directed()
 
 
+@requires_numpy
 class TestIncrementalOracle:
     @pytest.fixture
     def dataset(self):
@@ -115,6 +116,7 @@ class TestBSPEngine:
         result = engine.run_bfs(root=0)
         assert result.estimated_cycles >= 1000 * result.supersteps
 
+    @requires_numpy
     def test_incremental_warm_start_cheaper_than_cold(self):
         num_vertices = 120
         dataset = make_streaming_dataset(num_vertices, 1200, sampling="edge", seed=3)
@@ -139,6 +141,7 @@ class TestBSPEngine:
 
 
 class TestStaticRecompute:
+    @requires_numpy
     def test_recompute_costs_grow_with_graph(self):
         chip = ChipConfig.small(edge_list_capacity=4)
         dataset = make_streaming_dataset(60, 500, sampling="edge",

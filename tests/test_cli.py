@@ -4,6 +4,8 @@ import pytest
 
 from repro.cli import build_parser, main
 
+from helpers import requires_numpy
+
 
 class TestParser:
     def test_requires_subcommand(self):
@@ -26,16 +28,19 @@ class TestParser:
 
 
 class TestCommands:
+    @requires_numpy
     def test_table1(self, capsys):
         assert main(["table1", "--scale", "tiny"]) == 0
         out = capsys.readouterr().out
         assert "Sampling Type" in out and "Final Edges" in out
 
+    @requires_numpy
     def test_quickstart(self, capsys):
         assert main(["quickstart"]) == 0
         out = capsys.readouterr().out
         assert "BFS reached" in out
 
+    @requires_numpy
     def test_increments_small(self, capsys):
         code = main([
             "increments", "--vertices", "80", "--edges", "500",
@@ -45,6 +50,7 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Streaming Edges with BFS" in out
 
+    @requires_numpy
     def test_activation_small(self, capsys):
         code = main([
             "activation", "--vertices", "80", "--edges", "500",
@@ -54,6 +60,7 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "peak activation" in out
 
+    @requires_numpy
     def test_table2_tiny(self, capsys):
         code = main(["table2", "--scale", "tiny", "--chip", "8", "--fidelity", "latency"])
         assert code == 0

@@ -1,6 +1,5 @@
 """Tests for the congestion / load-imbalance analysis."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.congestion import (
@@ -14,6 +13,8 @@ from repro.graph.rpvo import Edge
 from repro.runtime.device import AMCCADevice
 
 from helpers import random_edges
+
+np = pytest.importorskip("numpy")  # these tests exercise numpy-backed features
 
 
 def run_graph(edges, num_vertices=30, chip=None):

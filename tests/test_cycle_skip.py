@@ -1,0 +1,161 @@
+"""Event-driven cycle skipping and truncation-safe parked-cell accounting.
+
+``Simulator.run`` may jump the clock over provably idle spans (all busy
+cells parked, IO drained, NoC empty or in predictable drift).  These tests
+pin the two guarantees that make the feature safe:
+
+* **Transparency** — for every workload and every ``max_cycles`` budget
+  (including budgets landing *inside* a skipped span), a skipping run
+  produces exactly the statistics and cycle counts of the cycle-by-cycle
+  run, while stepping strictly fewer times.
+* **Truncation accounting** — ``Simulator.finalize`` credits the elapsed
+  portion of parked cells' instruction burns (the ROADMAP's
+  parked-cell-accounting item), idempotently, and without double counting
+  when a truncated run is resumed.
+"""
+
+import pytest
+
+from repro.arch.config import ChipConfig
+from repro.runtime.device import AMCCADevice
+from repro.runtime.terminator import Terminator
+
+
+def build_relay_device(fidelity="cycle", fast_park=True, cycle_skip=True):
+    """A device whose workload alternates long burns with lone far messages.
+
+    A ``relay`` action charges a long instruction burn (so the cell parks)
+    and then propagates a single message to the opposite corner (so exactly
+    one flit crosses the mesh alone) -- together exercising the parked-only,
+    single-flit and (in latency mode) deadline fast-forward paths.
+    """
+    device = AMCCADevice(ChipConfig.small().with_(fidelity=fidelity))
+    sim = device.simulator
+    sim._fast_park = fast_park
+    sim.cycle_skip = cycle_skip
+    cfg = device.config
+    corners = [cfg.cc_at(1, 1), cfg.cc_at(6, 6)]
+    targets = [device.allocate_on(cc, {"hits": 0}) for cc in corners]
+
+    def relay(ctx, obj, k):
+        obj["hits"] += 1
+        ctx.charge(12)
+        if k > 0:
+            nxt = targets[k % 2]
+            ctx.propagate("relay", nxt, k - 1)
+
+    device.register_action("relay", relay)
+    device.send("relay", targets[0], 6)
+    return device, sim
+
+
+def run_relay(fidelity="cycle", fast=True, max_cycles=None):
+    """Run the relay workload; return (summary, cycles, steps_executed)."""
+    device, sim = build_relay_device(fidelity, fast_park=fast, cycle_skip=fast)
+    steps = [0]
+    orig_step = sim.step
+
+    def counting_step():
+        steps[0] += 1
+        return orig_step()
+
+    sim.step = counting_step
+    result = device.run(Terminator(), max_cycles=max_cycles)
+    summary = device.stats().summary()
+    return summary, result.cycles, steps[0]
+
+
+class TestSkipTransparency:
+    @pytest.mark.parametrize("fidelity", ["cycle", "latency"])
+    def test_full_run_identical_and_fewer_steps(self, fidelity):
+        slow = run_relay(fidelity, fast=False)
+        fast = run_relay(fidelity, fast=True)
+        assert fast[0] == slow[0]          # bit-identical statistics
+        assert fast[1] == slow[1]          # same simulated cycles
+        assert fast[2] < slow[2]           # strictly fewer Python steps
+        assert fast[2] < fast[1]           # some cycles were skipped
+
+    @pytest.mark.parametrize("fidelity", ["cycle", "latency"])
+    def test_every_truncation_point_is_identical(self, fidelity):
+        full_cycles = run_relay(fidelity, fast=False)[1]
+        for budget in range(1, full_cycles + 2, 7):
+            slow = run_relay(fidelity, fast=False, max_cycles=budget)
+            fast = run_relay(fidelity, fast=True, max_cycles=budget)
+            assert fast[1] == slow[1] == min(budget, full_cycles), budget
+            assert fast[0] == slow[0], f"stats diverge at budget {budget}"
+
+    def test_budget_inside_skipped_span_stops_exactly_on_budget(self):
+        # Find a budget that lands strictly inside a skipped span: run fast,
+        # note a cycle that was jumped over, and truncate there.
+        device, sim = build_relay_device()
+        stepped = set()
+        orig_step = sim.step
+
+        def recording_step():
+            stepped.add(sim.cycle)
+            return orig_step()
+
+        sim.step = recording_step
+        device.run(Terminator())
+        skipped = sorted(set(range(sim.cycle)) - stepped)
+        assert skipped, "workload must produce skipped cycles"
+        budget = skipped[len(skipped) // 2]
+        slow = run_relay("cycle", fast=False, max_cycles=budget)
+        fast = run_relay("cycle", fast=True, max_cycles=budget)
+        assert fast == (slow[0], budget, fast[2])
+
+    def test_hooks_disable_skipping(self):
+        device, sim = build_relay_device()
+        sim.add_cycle_hook(lambda c: None)
+        steps = [0]
+        orig_step = sim.step
+
+        def counting_step():
+            steps[0] += 1
+            return orig_step()
+
+        sim.step = counting_step
+        result = device.run(Terminator())
+        assert steps[0] == result.cycles  # every cycle stepped
+
+
+class TestTruncationAccounting:
+    def test_finalize_credits_mid_park_burns(self):
+        # Truncate inside the very first burn: the unparked reference counts
+        # one instruction per elapsed cycle; finalize() must agree.
+        for budget in (3, 5, 9, 12):
+            slow = run_relay("cycle", fast=False, max_cycles=budget)
+            fast = run_relay("cycle", fast=True, max_cycles=budget)
+            assert fast[0]["instructions"] == slow[0]["instructions"], budget
+
+    def test_finalize_is_idempotent(self):
+        device, sim = build_relay_device()
+        device.run(Terminator(), max_cycles=9)
+        first = device.stats().summary()
+        second = device.stats().summary()
+        assert first == second
+
+    def test_resumed_run_does_not_double_count(self):
+        reference = run_relay("cycle", fast=False)[0]
+
+        device, sim = build_relay_device()
+        terminator = Terminator()
+        device.run(terminator, max_cycles=9)
+        # Mid-run reconciliation (e.g. a report between increments)...
+        device.stats()
+        # ...then resume to completion: totals must match the straight run.
+        device.run(terminator)
+        assert device.stats().summary() == reference
+
+    def test_busy_cycles_credited_on_cells(self):
+        device, sim = build_relay_device()
+        device.run(Terminator(), max_cycles=9)
+        device.stats()
+        busy_fast = sum(cell.busy_cycles for cell in sim.cells)
+
+        device2, sim2 = build_relay_device()
+        sim2._fast_park = False
+        sim2.cycle_skip = False
+        device2.run(Terminator(), max_cycles=9)
+        busy_slow = sum(cell.busy_cycles for cell in sim2.cells)
+        assert busy_fast == busy_slow

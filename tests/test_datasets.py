@@ -1,7 +1,7 @@
 """Tests for the dataset generators, sampling orders and file IO."""
 
-import numpy as np
 import pytest
+
 from hypothesis import given, strategies as st
 
 from repro.datasets.io import (
@@ -24,6 +24,8 @@ from repro.datasets.streaming import (
     paper_dataset_configs,
 )
 from repro.graph.rpvo import Edge
+
+np = pytest.importorskip("numpy")  # these tests exercise numpy-backed features
 
 
 class TestSBMParams:

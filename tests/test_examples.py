@@ -10,6 +10,8 @@ import importlib.util
 import sys
 from pathlib import Path
 
+from helpers import requires_numpy
+
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
@@ -30,6 +32,7 @@ class TestExampleScripts:
         assert "quickstart.py" in scripts
         assert len(scripts) >= 3
 
+    @requires_numpy
     def test_quickstart_runs_and_verifies(self, capsys):
         module = load_example("quickstart.py")
         module.main()

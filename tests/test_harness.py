@@ -20,6 +20,8 @@ from repro.harness import (
 )
 from repro.harness.scenario import ALGORITHMS, RunOptions
 
+from helpers import requires_numpy
+
 
 def tiny_scenario(name="t", algorithm="ingest", **dataset_kwargs) -> Scenario:
     """A scenario small enough that running it takes well under a second."""
@@ -179,6 +181,7 @@ class TestResultStore:
 
 
 class TestRunner:
+    @requires_numpy
     def test_cache_miss_then_hit(self, tmp_path):
         store = ResultStore(tmp_path / "store.jsonl")
         suite = [tiny_scenario("s1", "ingest"), tiny_scenario("s2", "bfs")]
@@ -188,6 +191,7 @@ class TestRunner:
         assert (second.cache_hits, second.cache_misses) == (2, 0)
         assert second.records == first.records
 
+    @requires_numpy
     def test_force_recomputes_without_duplicates(self, tmp_path):
         path = tmp_path / "store.jsonl"
         store = ResultStore(path)
@@ -197,6 +201,7 @@ class TestRunner:
         assert (forced.cache_hits, forced.cache_misses) == (0, 1)
         assert len(path.read_text().strip().splitlines()) == 1
 
+    @requires_numpy
     def test_parallel_results_byte_identical_to_serial(self, tmp_path):
         suite = four_scenario_suite()
         serial_store = ResultStore(tmp_path / "serial.jsonl")
@@ -207,6 +212,7 @@ class TestRunner:
         assert (tmp_path / "serial.jsonl").read_bytes() == \
                (tmp_path / "parallel.jsonl").read_bytes()
 
+    @requires_numpy
     def test_record_shape(self):
         record = run_scenario(tiny_scenario("shape", "bfs"))
         assert record["spec_hash"] == tiny_scenario("shape", "bfs").spec_hash()
@@ -217,6 +223,7 @@ class TestRunner:
         # Records must stay JSON-serialisable and deterministic.
         assert json.loads(json.dumps(record)) == record
 
+    @requires_numpy
     def test_intra_suite_duplicates_run_once(self, tmp_path):
         store = ResultStore(tmp_path / "store.jsonl")
         twin_a, twin_b = tiny_scenario("twin"), tiny_scenario("twin")
@@ -227,6 +234,7 @@ class TestRunner:
 
 
 class TestReport:
+    @requires_numpy
     def test_table2_pairs_ingest_with_bfs(self):
         suite = [tiny_scenario("pair-ingest", "ingest"),
                  tiny_scenario("pair-bfs", "bfs")]

@@ -41,6 +41,8 @@ from repro.harness.bench import (
     write_bench,
 )
 
+from helpers import requires_numpy
+
 
 def tiny_scenario(name="t", algorithm="ingest", **dataset_kwargs) -> Scenario:
     """A scenario small enough that running it takes well under a second."""
@@ -154,6 +156,7 @@ class TestWorkerPool:
         assert elapsed >= 0.75
 
 
+@requires_numpy
 class TestSharding:
     def test_shard_spans_cover_contiguously(self):
         assert shard_spans(10, 3) == [(0, 3), (3, 7), (7, 10)]
@@ -217,6 +220,7 @@ class TestSharding:
         assert second.cache_hits == 1
 
 
+@requires_numpy
 class TestSuiteTimeouts:
     def test_timeout_recorded_without_killing_siblings(self, tmp_path):
         store = ResultStore(tmp_path / "store.jsonl")
@@ -372,6 +376,7 @@ class TestStoreDiff:
         assert "total_cycles" in rendered and "+40.0%" in rendered
         assert "only in before" in rendered and "only in after" in rendered
 
+    @requires_numpy
     def test_diff_of_identical_stores_is_clean(self, tmp_path):
         scenario = tiny_scenario("same", "ingest")
         store_a = ResultStore(tmp_path / "a.jsonl")
@@ -384,6 +389,7 @@ class TestStoreDiff:
 
 
 class TestBench:
+    @requires_numpy
     def test_run_bench_interleaves_and_reports_medians(self):
         scenarios = [tiny_scenario("w1", "ingest"), tiny_scenario("w2", "bfs")]
         results = run_bench(scenarios, reps=2)
@@ -393,6 +399,7 @@ class TestBench:
             assert result.median_cycles_per_sec > 0
             assert result.total_cycles > 0
 
+    @requires_numpy
     def test_payload_schema_and_round_trip(self, tmp_path):
         results = run_bench([tiny_scenario("w", "ingest")], reps=1)
         payload = bench_payload(results, tag="test", suite="custom", reps=1)
@@ -455,6 +462,7 @@ class TestBench:
 
 
 class TestCliIntegration:
+    @requires_numpy
     def test_suite_run_shard_flags_round_trip(self, tmp_path, capsys):
         from repro.cli import main
 
@@ -468,6 +476,7 @@ class TestCliIntegration:
         assert store_a.read_bytes() == store_b.read_bytes()
         shutdown_pool()
 
+    @requires_numpy
     def test_suite_diff_exit_codes(self, tmp_path, capsys):
         from repro.cli import main
 
@@ -510,6 +519,7 @@ class TestCliIntegration:
         assert survivors == ["exp"]
         capsys.readouterr()
 
+    @requires_numpy
     def test_bench_command_writes_and_compares(self, tmp_path, capsys):
         from repro.cli import main
 

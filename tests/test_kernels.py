@@ -1,0 +1,299 @@
+"""Tests for the numpy NoC kernel layer and the message arena.
+
+Covers kernel resolution (config field x ``REPRO_KERNEL`` environment),
+the adaptive vector-mode machinery of
+:class:`~repro.arch.kernels.NumpyCycleAccurateNoC` (bit-identical schedules
+against both the python kernel and the dictionary reference model, across
+mode switches), the vectorised latency-mode batch injection, the
+kernel-independence of harness identities/records, and the message
+arena/freelist recycling.
+"""
+
+import random
+
+import pytest
+
+from repro.arch.config import ChipConfig
+from repro.arch.message import (
+    Message,
+    acquire_message,
+    release_message,
+)
+from repro.arch.noc import CycleAccurateNoC, LatencyNoC, build_noc
+from repro.arch.routing import make_routing
+from repro.arch.stats import SimStats
+from repro.harness.scenario import ChipSpec, Scenario
+
+from helpers import requires_numpy
+from test_noc_equivalence import drain_schedule, normalize
+
+np = pytest.importorskip("numpy")
+
+from repro.arch import kernels  # noqa: E402 - needs numpy present
+from repro.arch.kernels import NumpyCycleAccurateNoC, resolve_kernel  # noqa: E402
+
+
+def make_numpy_noc(width=8, height=8, routing="yx", vector_min=None,
+                   per_link=False, max_message_words=8):
+    cfg = ChipConfig(width=width, height=height, routing=routing,
+                     max_message_words=max_message_words)
+    stats = SimStats(num_cells=cfg.num_cells)
+    pol = make_routing(cfg)
+    if per_link:
+        stats.enable_link_accounting(pol.link_table.num_links)
+    noc = NumpyCycleAccurateNoC(cfg, pol, stats)
+    if vector_min is not None:
+        noc._enter_at = vector_min
+        noc._exit_at = max(1, vector_min // 4)
+    return noc
+
+
+class TestResolveKernel:
+    def test_auto_resolves_to_numpy_when_available(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        assert resolve_kernel(ChipConfig(width=4, height=4)) == "numpy"
+
+    def test_env_overrides_auto(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "python")
+        assert resolve_kernel(ChipConfig(width=4, height=4)) == "python"
+        monkeypatch.setenv(kernels.KERNEL_ENV, "auto")
+        assert resolve_kernel(ChipConfig(width=4, height=4)) == "numpy"
+
+    def test_explicit_config_beats_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "numpy")
+        cfg = ChipConfig(width=4, height=4, kernel="python")
+        assert resolve_kernel(cfg) == "python"
+
+    def test_bad_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "fortran")
+        with pytest.raises(ValueError):
+            resolve_kernel(ChipConfig(width=4, height=4))
+
+    def test_explicit_numpy_without_numpy_raises(self, monkeypatch):
+        monkeypatch.setattr(kernels, "HAVE_NUMPY", False)
+        with pytest.raises(RuntimeError):
+            resolve_kernel(ChipConfig(width=4, height=4, kernel="numpy"))
+
+    def test_auto_without_numpy_falls_back(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        monkeypatch.setattr(kernels, "HAVE_NUMPY", False)
+        assert resolve_kernel(ChipConfig(width=4, height=4)) == "python"
+
+    def test_build_noc_selects_numpy_kernel(self):
+        cfg = ChipConfig(width=4, height=4, kernel="numpy")
+        stats = SimStats(num_cells=cfg.num_cells)
+        noc = build_noc(cfg, stats)
+        assert isinstance(noc, NumpyCycleAccurateNoC)
+        # ...which still is a CycleAccurateNoC for callers' isinstance checks.
+        assert isinstance(noc, CycleAccurateNoC)
+
+    def test_build_noc_python_pin(self):
+        cfg = ChipConfig(width=4, height=4, kernel="python")
+        stats = SimStats(num_cells=cfg.num_cells)
+        noc = build_noc(cfg, stats)
+        assert type(noc) is CycleAccurateNoC
+
+    def test_config_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            ChipConfig(width=4, height=4, kernel="cuda")
+
+
+class TestNumpyKernelSchedules:
+    """The numpy kernel's schedules are bit-identical to the python sweep,
+    across vector-mode entry/exit and on both sweep paths."""
+
+    @pytest.mark.parametrize("vector_min", [1, 4, 1 << 30])
+    @pytest.mark.parametrize("routing", ["yx", "xy"])
+    def test_random_storm_matches_python_kernel(self, routing, vector_min):
+        cfg = ChipConfig(width=8, height=8, routing=routing)
+        stats = SimStats(num_cells=cfg.num_cells)
+        py = CycleAccurateNoC(cfg, make_routing(cfg), stats)
+        nk = make_numpy_noc(routing=routing, vector_min=vector_min)
+        rng = random.Random(99)
+        sched = sorted(
+            (rng.randrange(25), rng.randrange(64), rng.randrange(64),
+             rng.choice((2, 2, 8, 12)))
+            for _ in range(400)
+        )
+        a = drain_schedule(py, sched)
+        b = drain_schedule(nk, sched)
+        assert normalize(a) == normalize(b)
+        for field in ("hops", "link_busy", "messages_injected"):
+            assert getattr(py.stats, field) == getattr(nk.stats, field), field
+
+    def test_per_link_accounting_matches(self):
+        cfg = ChipConfig(width=8, height=8)
+        stats = SimStats(num_cells=cfg.num_cells)
+        pol = make_routing(cfg)
+        stats.enable_link_accounting(pol.link_table.num_links)
+        py = CycleAccurateNoC(cfg, pol, stats)
+        nk = make_numpy_noc(vector_min=2, per_link=True)
+        rng = random.Random(5)
+        sched = sorted(
+            (rng.randrange(8), rng.randrange(64), rng.randrange(64), 2)
+            for _ in range(150)
+        )
+        drain_schedule(py, sched)
+        drain_schedule(nk, sched)
+        assert py.stats.link_busy_per_link == nk.stats.link_busy_per_link
+
+    def test_mode_switches_happen_and_preserve_schedule(self):
+        nk = make_numpy_noc(width=8, height=8, vector_min=8)
+        rng = random.Random(3)
+        # Two bursts separated by a lull, so the kernel enters vector mode,
+        # drains back out (free exit at empty), and re-enters.
+        sched = sorted(
+            (rng.choice((0, 1, 40, 41)), rng.randrange(64), rng.randrange(64), 2)
+            for _ in range(200)
+        )
+        modes = set()
+        out = []
+        pending = list(sched)
+        cycle = 0
+        while (pending or not nk.is_empty) and cycle < 10_000:
+            while pending and pending[0][0] == cycle:
+                _, src, dst, size = pending.pop(0)
+                nk.inject(Message(src=src, dst=dst, action="a", size_words=size),
+                          cycle)
+            for msg in nk.advance(cycle):
+                out.append((cycle, msg.msg_id, msg.hops))
+            modes.add(nk._vector_mode)
+            cycle += 1
+        assert modes == {True, False}, "both modes should have been exercised"
+        cfg = ChipConfig(width=8, height=8)
+        stats = SimStats(num_cells=cfg.num_cells)
+        py = CycleAccurateNoC(cfg, make_routing(cfg), stats)
+        assert normalize(out) == normalize(drain_schedule(py, sched))
+
+    def test_delivered_messages_carry_route_length_hops(self):
+        nk = make_numpy_noc()
+        cfg = nk.config
+        msg = Message(src=cfg.cc_at(0, 0), dst=cfg.cc_at(3, 4), action="a")
+        nk.inject(msg, 0)
+        delivered = []
+        cycle = 0
+        while not nk.is_empty:
+            delivered += nk.advance(cycle)
+            cycle += 1
+        assert delivered == [msg]
+        assert msg.hops == cfg.manhattan(msg.src, msg.dst)
+
+
+class TestLatencyVectorInject:
+    def test_inject_many_matches_scalar_injects(self):
+        cfg = ChipConfig(width=8, height=8, fidelity="latency")
+        rng = random.Random(21)
+        batches = [
+            [Message(src=rng.randrange(64), dst=rng.randrange(64), action="a",
+                     size_words=rng.choice((2, 8, 12)))
+             for _ in range(rng.randrange(1, 40))]
+            for _ in range(6)
+        ]
+        results = []
+        for vectorized in (False, True):
+            stats = SimStats(num_cells=cfg.num_cells)
+            noc = LatencyNoC(cfg, make_routing(cfg), stats,
+                             vectorized=vectorized)
+            rng_ids = []
+            for cycle, batch in enumerate(batches):
+                clones = [Message(src=m.src, dst=m.dst, action=m.action,
+                                  size_words=m.size_words) for m in batch]
+                noc.inject_many(clones, cycle)
+                rng_ids.extend(c.msg_id for c in clones)
+            base = rng_ids[0]
+            out = []
+            cycle = 0
+            while not noc.is_empty and cycle < 500:
+                out.extend((cycle, m.msg_id - base, m.hops)
+                           for m in noc.advance(cycle))
+                cycle += 1
+            results.append((out, stats.hops, stats.messages_injected))
+        assert results[0] == results[1]
+
+
+class TestKernelIsExecutionDetail:
+    """The kernel pin never leaks into identities, seeds or records."""
+
+    def test_spec_hash_and_seed_ignore_kernel(self):
+        base = Scenario(name="k", chip=ChipSpec(side=8))
+        for kernel in ("python", "numpy", "auto"):
+            pinned = Scenario(name="k", chip=ChipSpec(side=8, kernel=kernel))
+            assert pinned.spec_hash() == base.spec_hash()
+            assert pinned.graph_seed() == base.graph_seed()
+            assert "kernel" not in pinned.spec_dict()["chip"]
+
+    @requires_numpy
+    def test_records_identical_across_kernels(self):
+        from repro.harness.runner import run_scenario
+        from repro.harness.scenario import DatasetSpec
+
+        scenario = Scenario(
+            name="kernel-equiv",
+            dataset=DatasetSpec(vertices=80, edges=600, num_increments=3,
+                                seed=13),
+            chip=ChipSpec(side=8, edge_list_capacity=8),
+            algorithm="bfs",
+        )
+        records = [run_scenario(scenario, kernel=kernel)
+                   for kernel in ("python", "numpy")]
+        assert records[0] == records[1]
+
+
+class TestMessageArena:
+    def test_acquire_reuses_released_carrier(self):
+        msg = acquire_message(1, 2, "a", None, (7,), 3)
+        assert msg._pooled
+        first_id = msg.msg_id
+        release_message(msg)
+        again = acquire_message(4, 5, "b")
+        assert again is msg  # LIFO freelist reuse
+        assert again.msg_id > first_id  # fresh identity
+        assert again.src == 4 and again.dst == 5 and again.action == "b"
+        assert again.created_cycle == -1 and again.delivered_cycle == -1
+        assert again.hops == 0 and again.position == 4
+        release_message(again)
+
+    def test_release_drops_payload_references(self):
+        operands = (object(),)
+        msg = acquire_message(0, 1, "a", None, operands, 2)
+        release_message(msg)
+        assert msg.operands == ()
+        assert msg.target is None
+
+    def test_plain_messages_are_not_pooled(self):
+        msg = Message(src=0, dst=1, action="a")
+        assert not msg._pooled
+
+    def test_double_release_is_harmless(self):
+        from repro.arch import message as message_mod
+
+        msg = acquire_message(0, 1, "a")
+        release_message(msg)
+        before = len(message_mod._MESSAGE_POOL)
+        # The simulator only releases messages whose _pooled flag is set;
+        # release_message clears it, so a second release cannot duplicate
+        # the carrier in the pool.
+        assert not msg._pooled
+        acquired = acquire_message(0, 2, "b")
+        assert len(message_mod._MESSAGE_POOL) == before - 1
+        release_message(acquired)
+
+    def test_runtime_run_recycles_messages(self):
+        """An end-to-end device run leaves carriers in the freelist."""
+        from repro.arch import message as message_mod
+        from repro.runtime.device import AMCCADevice
+        from repro.runtime.terminator import Terminator
+
+        device = AMCCADevice(ChipConfig.small())
+        sink = device.allocate_on(30, {"hits": 0})
+
+        def handler(ctx, target, n):
+            target["hits"] += 1
+            if n > 0:
+                ctx.propagate("ping", sink, n - 1)
+
+        device.register_action("ping", handler)
+        device.send("ping", sink, 5)
+        device.run(Terminator())
+        assert device.get_object(sink)["hits"] == 6
+        assert len(message_mod._MESSAGE_POOL) > 0

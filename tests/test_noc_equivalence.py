@@ -27,6 +27,8 @@ from repro.datasets.streaming import make_streaming_dataset
 from repro.graph.graph import DynamicGraph
 from repro.runtime.device import AMCCADevice
 
+from helpers import requires_numpy
+
 
 def make_pair(width=8, height=8, routing="yx", max_message_words=8,
               per_link=False):
@@ -226,6 +228,7 @@ class TestScheduleEquivalence:
         assert hottest == sorted(util.items(), key=lambda kv: (-kv[1], kv[0]))[:3]
 
 
+@requires_numpy
 class TestFullSimulationEquivalence:
     """Fixed-seed end-to-end runs: fidelity='cycle' == fidelity='cycle-ref'."""
 

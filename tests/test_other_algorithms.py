@@ -16,7 +16,7 @@ from repro.graph.graph import DynamicGraph
 from repro.graph.rpvo import Edge
 from repro.runtime.device import AMCCADevice
 
-from helpers import random_edges
+from helpers import requires_numpy, random_edges
 
 
 def make_graph(num_vertices, algorithm, capacity=4, chip=None, seed=2):
@@ -163,6 +163,7 @@ class TestPageRankDelta:
         assert sum(ranks.values()) == pytest.approx(1.0)
         assert all(r >= 0 for r in ranks.values())
 
+    @requires_numpy
     def test_rank_ordering_tracks_networkx(self):
         """The highest-ranked vertices should broadly agree with NetworkX."""
         num_vertices = 40

@@ -1,13 +1,15 @@
 """Tests for statistics collection, the energy model and the trace recorder."""
 
-import numpy as np
 import pytest
+
 from hypothesis import given, strategies as st
 
 from repro.arch.config import ChipConfig
 from repro.arch.energy import EnergyModel, estimate_energy
 from repro.arch.stats import SimStats
 from repro.arch.trace import TraceRecorder
+
+np = pytest.importorskip("numpy")  # these tests exercise numpy-backed features
 
 
 class TestSimStats:
