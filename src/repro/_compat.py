@@ -1,4 +1,4 @@
-"""Optional-dependency shims (currently: NumPy).
+"""Optional-dependency shims (NumPy and matplotlib).
 
 NumPy powers the vectorised kernels and the dataset generators but is an
 optional ``[perf]`` extra, not a hard dependency: the simulator, the runtime
@@ -7,6 +7,10 @@ kernel automatically).  Modules that can degrade import ``np``/``HAVE_NUMPY``
 from here; modules that fundamentally need NumPy (dataset generation, figure
 rendering) call :func:`require_numpy` at entry so the failure is a clear,
 actionable error instead of an import-time crash.
+
+matplotlib is even more optional: only ``repro report --png`` wants it.
+:func:`get_matplotlib` returns a headless (Agg) pyplot module or ``None``,
+so callers can skip figure export cleanly instead of crashing.
 """
 
 from __future__ import annotations
@@ -18,6 +22,18 @@ try:  # pragma: no cover - exercised by the no-numpy CI job
 except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
     np = None  # type: ignore[assignment]
     HAVE_NUMPY = False
+
+
+def get_matplotlib():
+    """Headless pyplot when matplotlib is installed, ``None`` otherwise."""
+    try:  # pragma: no cover - exercised only where matplotlib is present
+        import matplotlib
+    except ImportError:
+        return None
+    matplotlib.use("Agg")  # never require a display
+    import matplotlib.pyplot as plt
+
+    return plt
 
 
 def require_numpy(feature: str) -> None:

@@ -120,6 +120,31 @@ class IOSystem:
     def drained(self) -> bool:
         return self._pending == 0
 
+    # ------------------------------------------------------------------
+    # Snapshot support (see repro.snapshot).  Queued items are exported
+    # per IO cell (round-robin position included, by construction); the
+    # message *factory* is code and is re-registered by whichever layer
+    # owns it (the device's data-transfer machinery) after import.
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        return {
+            "total_items": self.total_items,
+            "total_injected": self.total_injected,
+            "queues": [list(cell.queue) for cell in self.cells],
+            "injected": [cell.injected for cell in self.cells],
+        }
+
+    def import_state(self, state: dict) -> None:
+        self.total_items = state["total_items"]
+        self.total_injected = state["total_injected"]
+        pending = 0
+        for cell, items, injected in zip(self.cells, state["queues"],
+                                         state["injected"]):
+            cell.queue = deque(items)
+            cell.injected = injected
+            pending += len(items)
+        self._pending = pending
+
     def step(self, cycle: int) -> List[Message]:
         """Advance every IO cell by one cycle; return the created messages.
 

@@ -551,6 +551,18 @@ class NumpyCycleAccurateNoC(CycleAccurateNoC):
         # scalar paths.
 
     # ------------------------------------------------------------------
+    # Snapshot support (see repro.snapshot): capture always happens in the
+    # python representation.  Mode switches are schedule-invariant, so
+    # converting back before export changes nothing observable, and a
+    # restored instance simply re-enters vector mode when a later sweep
+    # warrants it.
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict:
+        if self._vector_mode:
+            self._leave_vector_mode()
+        return CycleAccurateNoC.export_state(self)
+
+    # ------------------------------------------------------------------
     # Event-driven fast-forward support (see Simulator.run)
     # ------------------------------------------------------------------
     def idle_horizon(self, cycle: int) -> int:

@@ -107,6 +107,32 @@ class Message:
             return 1
         return max(1, -(-self.size_words // max_words_per_flit))
 
+    # ------------------------------------------------------------------
+    # Snapshot support (see repro.snapshot).  NoC-private route state is
+    # deliberately excluded: routes are a pure function of (src, dst) and
+    # are recomputed at restore, so snapshots stay route-table-free.
+    # ------------------------------------------------------------------
+    def to_state(self) -> Tuple:
+        """The message as a tuple of plain values (snapshot capture)."""
+        return (
+            self.src, self.dst, self.action, self.target, self.operands,
+            self.size_words, self.created_cycle, self.delivered_cycle,
+            self.hops, self.position, self.last_moved,
+        )
+
+    @classmethod
+    def from_state(cls, state: Tuple) -> "Message":
+        """Rebuild a message captured by :meth:`to_state` (fresh ``msg_id``)."""
+        (src, dst, action, target, operands, size_words, created_cycle,
+         delivered_cycle, hops, position, last_moved) = state
+        msg = cls(src, dst, action, target, tuple(operands), size_words)
+        msg.created_cycle = created_cycle
+        msg.delivered_cycle = delivered_cycle
+        msg.hops = hops
+        msg.position = position
+        msg.last_moved = last_moved
+        return msg
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Message(#{self.msg_id} {self.action} {self.src}->{self.dst} "

@@ -93,6 +93,15 @@ class BaseNoC:
         """True when no message is in flight."""
         return self.in_flight == 0
 
+    # -- snapshot support (see repro.snapshot) -------------------------
+    def export_state(self) -> Dict:
+        """In-flight state as plain values (model-specific; see subclasses)."""
+        raise NotImplementedError
+
+    def import_state(self, state: Dict) -> None:
+        """Restore :meth:`export_state` output into a freshly built model."""
+        raise NotImplementedError
+
 
 class CycleAccurateNoC(BaseNoC):
     """Hop-by-hop mesh NoC with per-link serialization, on flat arrays.
@@ -276,6 +285,47 @@ class CycleAccurateNoC(BaseNoC):
     def is_empty(self) -> bool:
         return self.in_flight == 0 and not self._local_deliveries
 
+    # ------------------------------------------------------------------
+    # Snapshot support.  Queued messages are exported in (activation,
+    # queue) order together with their route *index*; the route itself is
+    # a pure function of (src, dst) and is recomputed at import, so the
+    # snapshot never embeds link-id tables.  Sweep stamps do not need
+    # their historical values -- only active-list membership and order
+    # matter to the schedule -- so import re-stamps against the fresh
+    # instance's sweep counter.
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict:
+        queued = sum(len(q) for q in self._queues)
+        if queued != self.in_flight:
+            raise RuntimeError(  # pragma: no cover - invariant guard
+                "NoC in-flight count out of sync with link queues")
+        return {
+            "kind": "cycle",
+            "local": [msg.to_state() for msg in self._local_deliveries],
+            "active": [
+                (lid, [(msg.to_state(), msg._noc_hop)
+                       for msg in self._queues[lid]])
+                for lid in self._active
+            ],
+        }
+
+    def import_state(self, state: Dict) -> None:
+        self._local_deliveries = [Message.from_state(s) for s in state["local"]]
+        sweep = self._sweep
+        stamp = self._stamp
+        in_flight = 0
+        for lid, entries in state["active"]:
+            q = self._queues[lid]
+            for msg_state, hop in entries:
+                msg = Message.from_state(msg_state)
+                msg._noc_route = self._route_fn(msg.src, msg.dst)
+                msg._noc_hop = hop
+                q.append(msg)
+                in_flight += 1
+            stamp[lid] = sweep
+            self._active.append(lid)
+        self.in_flight = in_flight
+
 
 class ReferenceCycleAccurateNoC(BaseNoC):
     """The original dictionary-of-deques cycle-accurate NoC (executable spec).
@@ -372,6 +422,29 @@ class ReferenceCycleAccurateNoC(BaseNoC):
     @property
     def is_empty(self) -> bool:
         return self.in_flight == 0 and not self._local_deliveries
+
+    # -- snapshot support ----------------------------------------------
+    def export_state(self) -> Dict:
+        return {
+            "kind": "cycle-ref",
+            "local": [msg.to_state() for msg in self._local_deliveries],
+            "active": [
+                (key[0], key[1],
+                 [msg.to_state() for msg in self.links.get(key, ())])
+                for key in self._active_links
+            ],
+        }
+
+    def import_state(self, state: Dict) -> None:
+        self._local_deliveries = [Message.from_state(s) for s in state["local"]]
+        in_flight = 0
+        for u, v, entries in state["active"]:
+            q = self._link(u, v)
+            for msg_state in entries:
+                q.append(Message.from_state(msg_state))
+                in_flight += 1
+            self._active_links[(u, v)] = None
+        self.in_flight = in_flight
 
 
 class LatencyNoC(BaseNoC):
@@ -491,6 +564,45 @@ class LatencyNoC(BaseNoC):
             delivered.append(msg)
             self.in_flight -= 1
         return delivered
+
+    # -- snapshot support ----------------------------------------------
+    def export_state(self) -> Dict:
+        if self.batched:
+            pending = {deadline: [msg.to_state() for msg in msgs]
+                       for deadline, msgs in self._buckets.items()}
+            heap: List = []
+            next_seq = 0
+        else:
+            pending = {}
+            heap = [(deadline, seq, msg.to_state())
+                    for deadline, seq, msg in self._heap]
+            next_seq = max((seq for _, seq, _ in self._heap), default=-1) + 1
+        return {
+            "kind": "latency",
+            "batched": self.batched,
+            "buckets": pending,
+            "deadlines": list(self._deadlines),
+            "heap": heap,
+            "next_seq": next_seq,
+        }
+
+    def import_state(self, state: Dict) -> None:
+        if state["batched"] != self.batched:  # pragma: no cover - config guard
+            raise RuntimeError("latency NoC batching mode mismatch")
+        in_flight = 0
+        if self.batched:
+            for deadline, entries in state["buckets"].items():
+                self._buckets[deadline] = [Message.from_state(s) for s in entries]
+                in_flight += len(entries)
+            self._deadlines = list(state["deadlines"])
+            heapq.heapify(self._deadlines)
+        else:
+            self._heap = [(deadline, seq, Message.from_state(s))
+                          for deadline, seq, s in state["heap"]]
+            heapq.heapify(self._heap)
+            in_flight = len(self._heap)
+            self._seq = itertools.count(state["next_seq"])
+        self.in_flight = in_flight
 
 
 def build_noc(config: ChipConfig, stats: SimStats, routing: RoutingPolicy | None = None) -> BaseNoC:

@@ -473,6 +473,95 @@ class Simulator:
         self.cycle = target
 
     # ------------------------------------------------------------------
+    # Snapshot support (see repro.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """Scheduling/accounting state as plain values (snapshot capture).
+
+        Covers the clock, the active-cell order, parked cells and their
+        wake wheel, every cell's execution bookkeeping (lifetime counters,
+        in-progress instruction burns, held/staging/task-queue messages)
+        plus the statistics object and the NoC's in-flight state.  Cell
+        *memory contents* and dispatch wiring are deliberately excluded --
+        they belong to the layer that owns them (the graph side for
+        vertex blocks; the runtime rebuilds dispatchers from code).
+
+        Raises :class:`~repro.snapshot.format.SnapshotError` when the
+        state is not enumerable as plain data: a :class:`Task` closure in
+        a task queue, or a registered continuation awaiting its trigger.
+        Both are transient (they exist only while a diffusion is running
+        non-quiescent work), so capturing at an increment boundary always
+        succeeds.
+        """
+        from repro.snapshot.format import SnapshotError
+
+        cells_state = []
+        for cell in self.cells:
+            for item in cell.task_queue:
+                if item.__class__ is not Message:
+                    raise SnapshotError(
+                        f"cell {cell.cc_id} has a queued {item!r}: Task "
+                        "closures cannot be serialised; capture at an "
+                        "increment boundary")
+            if cell.continuations:
+                raise SnapshotError(
+                    f"cell {cell.cc_id} has {len(cell.continuations)} "
+                    "registered continuation(s) awaiting their trigger; "
+                    "capture at an increment boundary")
+            cells_state.append({
+                "remaining": cell._remaining_instructions,
+                "next_obj_id": cell._next_obj_id,
+                "memory_words": cell.memory_words,
+                "next_cont_id": cell._next_cont_id,
+                "instructions": cell.instructions_executed,
+                "staged": cell.messages_staged,
+                "tasks": cell.tasks_executed,
+                "allocations": cell.allocations,
+                "held": [m.to_state() for m in cell._held_messages],
+                "staging": [m.to_state() for m in cell.staging],
+                "queue": [m.to_state() for m in cell.task_queue],
+            })
+        return {
+            "cycle": self.cycle,
+            "active_cells": list(self._active_cells),
+            "parked": list(self._parked),
+            "wake_buckets": {wake: [list(entry) for entry in entries]
+                             for wake, entries in self._wake_buckets.items()},
+            "cells": cells_state,
+            "stats": self.stats.state_dict(),
+            "noc": self.noc.export_state(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Load :meth:`snapshot_state` output into a freshly built simulator."""
+        self.cycle = state["cycle"]
+        self._parked = bytearray(state["parked"])
+        self._parked_count = sum(self._parked)
+        self._wake_buckets = {wake: [tuple(entry) for entry in entries]
+                              for wake, entries in state["wake_buckets"].items()}
+        cells = self.cells
+        for cell, cs in zip(cells, state["cells"]):
+            cell._remaining_instructions = cs["remaining"]
+            cell._next_obj_id = cs["next_obj_id"]
+            cell.memory_words = cs["memory_words"]
+            cell._next_cont_id = cs["next_cont_id"]
+            cell.instructions_executed = cs["instructions"]
+            cell.messages_staged = cs["staged"]
+            cell.tasks_executed = cs["tasks"]
+            cell.allocations = cs["allocations"]
+            cell._held_messages = [Message.from_state(s) for s in cs["held"]]
+            cell.staging.extend(Message.from_state(s) for s in cs["staging"])
+            cell.task_queue.extend(Message.from_state(s) for s in cs["queue"])
+        # Re-stamp the active list against this instance's fresh sweep
+        # counter; only membership and order matter to the schedule.
+        sweep = self._cell_sweep
+        for cc_id in state["active_cells"]:
+            self._cell_stamp[cc_id] = sweep
+            self._active_cells.append(cc_id)
+        self.stats.load_state(state["stats"])
+        self.noc.import_state(state["noc"])
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def collect_cell_counters(self) -> None:

@@ -145,6 +145,40 @@ class SimStats:
         return out
 
     # ------------------------------------------------------------------
+    # Snapshot support (see repro.snapshot)
+    # ------------------------------------------------------------------
+    _SCALARS = (
+        "cycles", "instructions", "messages_staged", "messages_injected",
+        "messages_delivered", "hops", "link_busy", "tasks_executed",
+        "allocations", "io_injections", "memory_words_allocated",
+    )
+
+    def state_dict(self) -> Dict[str, object]:
+        """Every counter and series as plain values (snapshot capture)."""
+        state: Dict[str, object] = {name: getattr(self, name)
+                                    for name in self._SCALARS}
+        state["num_cells"] = self.num_cells
+        state["active_cells_per_cycle"] = list(self.active_cells_per_cycle)
+        state["messages_in_flight_per_cycle"] = list(self.messages_in_flight_per_cycle)
+        state["deliveries_per_cycle"] = list(self.deliveries_per_cycle)
+        state["link_busy_per_link"] = (None if self.link_busy_per_link is None
+                                       else list(self.link_busy_per_link))
+        state["phase_marks"] = dict(self.phase_marks)
+        return state
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Overwrite all counters and series from :meth:`state_dict` output."""
+        for name in self._SCALARS:
+            setattr(self, name, state[name])
+        self.num_cells = state["num_cells"]
+        self.active_cells_per_cycle = list(state["active_cells_per_cycle"])
+        self.messages_in_flight_per_cycle = list(state["messages_in_flight_per_cycle"])
+        self.deliveries_per_cycle = list(state["deliveries_per_cycle"])
+        per_link = state["link_busy_per_link"]
+        self.link_busy_per_link = None if per_link is None else list(per_link)
+        self.phase_marks = dict(state["phase_marks"])
+
+    # ------------------------------------------------------------------
     def merge_cell_counters(self, instructions: int, staged: int, tasks: int,
                             allocations: int, memory_words: int) -> None:
         """Fold one compute cell's lifetime counters into the aggregate."""

@@ -22,8 +22,21 @@ Run a whole scenario suite in parallel with cached results::
 
     repro suite run --preset paper-tiny -j 4
     repro suite run --preset paper-tiny -j 4 --shard-increments 4 --timeout 120
+    repro suite run --preset paper-tiny -j 4 --shard-increments 4 --pipeline
     repro suite list
     repro suite show --preset paper-tiny
+
+Checkpoint, inspect and resume mid-stream chip state::
+
+    repro snapshot save --preset tiny --scenario tiny-bfs --increment 5 \
+        --out results/tiny-bfs.snap
+    repro snapshot info results/tiny-bfs.snap
+    repro snapshot restore results/tiny-bfs.snap --preset tiny \
+        --scenario tiny-bfs --verify
+
+Render stored records (optionally as PNG figures)::
+
+    repro report --store results/suite.jsonl --png results/figures
 
 Compare stores and maintain them::
 
@@ -147,6 +160,8 @@ def cmd_suite_list(args: argparse.Namespace) -> int:
 
 
 def cmd_suite_run(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from repro.harness import ResultStore, get_suite, render_suite_report, run_suite
 
     try:
@@ -159,6 +174,19 @@ def cmd_suite_run(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
+    if args.snapshot_every:
+        if not args.snapshot_dir:
+            print("--snapshot-every requires --snapshot-dir", file=sys.stderr)
+            return 2
+        # Identity-free run options (stripped from spec hashes), so this
+        # never invalidates caches — but cached scenarios are not re-run,
+        # hence not re-checkpointed, unless --force is given.
+        scenarios = [
+            s.with_(options=replace(s.options,
+                                    snapshot_every=args.snapshot_every,
+                                    snapshot_dir=args.snapshot_dir))
+            for s in scenarios
+        ]
     jobs = 1 if args.serial else args.jobs
     report = run_suite(
         scenarios,
@@ -170,6 +198,7 @@ def cmd_suite_run(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         expect_cached=args.expect_cached,
         kernel=args.kernel,
+        pipeline=args.pipeline,
     )
     print(
         f"\nsuite {args.preset!r}: {len(report.outcomes)} scenarios, "
@@ -295,6 +324,129 @@ def cmd_store_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_snapshot_save(args: argparse.Namespace) -> int:
+    from repro.harness.runner import snapshot_at
+
+    scenario = _find_scenario(args.preset, args.scenario)
+    if scenario is None:
+        return 2
+    try:
+        snap = snapshot_at(scenario, args.increment, kernel=args.kernel)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    path = snap.save(args.out)
+    print(f"captured {scenario.name!r} at increment boundary "
+          f"{args.increment} -> {path} ({len(snap.to_bytes())} bytes, "
+          f"state {snap.state_hash[:16]}…)")
+    return 0
+
+
+def cmd_snapshot_info(args: argparse.Namespace) -> int:
+    from repro.snapshot import Snapshot, SnapshotError
+
+    try:
+        snap = Snapshot.load(args.path)
+    except SnapshotError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    info = snap.info()
+    chip = info.pop("chip", {})
+    for key in sorted(info):
+        print(f"{key}: {info[key]}")
+    if chip:
+        print("chip: " + ", ".join(f"{k}={v}" for k, v in sorted(chip.items())))
+    return 0
+
+
+def cmd_snapshot_restore(args: argparse.Namespace) -> int:
+    from repro.harness import ResultStore, resume_scenario, run_scenario
+    from repro.snapshot import Snapshot, SnapshotError
+
+    scenario = _find_scenario(args.preset, args.scenario)
+    if scenario is None:
+        return 2
+    try:
+        snap = Snapshot.load(args.path)
+        record = resume_scenario(scenario, snap, kernel=args.kernel)
+    except SnapshotError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(f"resumed {scenario.name!r} from increment boundary "
+          f"{snap.meta.get('increment', '?')}: "
+          f"{record['total_cycles']} total cycles, "
+          f"{record['edges_stored']} edges stored")
+    if args.verify:
+        fresh = run_scenario(scenario, kernel=args.kernel)
+        if json.dumps(fresh, sort_keys=True) != json.dumps(record, sort_keys=True):
+            print("VERIFY FAILED: resumed record differs from an "
+                  "uninterrupted run", file=sys.stderr)
+            return 1
+        print("verify: resumed record is byte-identical to an uninterrupted run")
+    if args.store:
+        store = ResultStore(args.store)
+        store.put(record)
+        print(f"stored record in {store.path} ({len(store)} records)")
+    return 0
+
+
+def _find_scenario(preset: str, name: str):
+    from repro.harness import get_suite
+
+    try:
+        scenarios = get_suite(preset)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return None
+    for scenario in scenarios:
+        if scenario.name == name:
+            return scenario
+    print(f"no scenario {name!r} in suite {preset!r}; choose from: "
+          + ", ".join(s.name for s in scenarios), file=sys.stderr)
+    return None
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.harness import (
+        ResultStore,
+        export_png_figures,
+        get_suite,
+        render_suite_report,
+    )
+
+    if not _require_store_paths(args.store):
+        return 2
+    try:
+        store = ResultStore(args.store)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.preset:
+        try:
+            scenarios = get_suite(args.preset)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        records = [r for s in scenarios
+                   if (r := store.get(s.spec_hash())) is not None]
+    else:
+        records = store.records()
+    if not records:
+        print("no records to report", file=sys.stderr)
+        return 1
+    print(render_suite_report(records, tables=args.tables))
+    if args.png:
+        written = export_png_figures(records, args.png)
+        if written:
+            print(f"\nwrote {len(written)} PNG figure(s) to {args.png}:")
+            for path in written:
+                print(f"  {path}")
+        else:
+            print("\nmatplotlib is not installed; skipped PNG export "
+                  "(pip install matplotlib)")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness import get_suite
     from repro.harness.bench import (
@@ -302,8 +454,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
         compare_bench,
         load_bench,
         run_bench,
+        update_baseline,
         write_bench,
     )
+
+    if args.update_baseline:
+        try:
+            payload = update_baseline(args.update_baseline, args.baseline_out)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(f"promoted {args.update_baseline} (tag "
+              f"{payload['source_tag']!r}, repro {payload['repro_version']}, "
+              f"{len(payload['workloads'])} workloads) -> {args.baseline_out}")
+        return 0
 
     try:
         scenarios = get_suite(args.suite)
@@ -429,6 +593,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--shard-increments", type=int, default=1, metavar="N",
                        help="split each scenario's increment stream into up to N "
                             "pool tasks (records stay byte-identical to serial)")
+    p_run.add_argument("--pipeline", action="store_true",
+                       help="with --shard-increments: hand chip state between "
+                            "shards as snapshots instead of replaying "
+                            "prefixes — no increment is simulated twice")
+    p_run.add_argument("--snapshot-every", type=int, default=0, metavar="N",
+                       help="checkpoint every N streamed increments (resumable "
+                            "runs; requires --snapshot-dir, see repro snapshot)")
+    p_run.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                       help="directory receiving --snapshot-every checkpoints")
     p_run.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                        help="per-task wall-clock budget; overdue scenarios record "
                             "a timeout outcome instead of hanging the suite")
@@ -473,6 +646,71 @@ def build_parser() -> argparse.ArgumentParser:
                       help="JSONL store path (default: results/suite.jsonl)")
     p_gc.set_defaults(func=cmd_store_gc)
 
+    p_snap = sub.add_parser(
+        "snapshot",
+        help="checkpoint/restore mid-stream chip state (see docs/snapshot.md)",
+    )
+    snap_sub = p_snap.add_subparsers(dest="snapshot_command", required=True)
+    p_snap_save = snap_sub.add_parser(
+        "save", help="run a scenario to an increment boundary and checkpoint it"
+    )
+    p_snap_save.add_argument("--preset", required=True,
+                             help="suite name (see: repro suite list)")
+    p_snap_save.add_argument("--scenario", required=True,
+                             help="scenario name inside the suite")
+    p_snap_save.add_argument("--increment", type=int, required=True,
+                             metavar="K",
+                             help="capture after the K-th streamed increment")
+    p_snap_save.add_argument("--out", required=True, metavar="PATH",
+                             help="snapshot file to write")
+    p_snap_save.add_argument("--kernel", choices=("auto", "python", "numpy"),
+                             default=None, help="NoC kernel pin (speed only)")
+    p_snap_save.set_defaults(func=cmd_snapshot_save)
+    p_snap_info = snap_sub.add_parser(
+        "info", help="describe a snapshot file (schema, provenance, state hash)"
+    )
+    p_snap_info.add_argument("path", help="snapshot file")
+    p_snap_info.set_defaults(func=cmd_snapshot_info)
+    p_snap_restore = snap_sub.add_parser(
+        "restore", help="restore a snapshot and resume the run to completion"
+    )
+    p_snap_restore.add_argument("path", help="snapshot file")
+    p_snap_restore.add_argument("--preset", required=True,
+                                help="suite name (see: repro suite list)")
+    p_snap_restore.add_argument("--scenario", required=True,
+                                help="scenario name inside the suite")
+    p_snap_restore.add_argument("--verify", action="store_true",
+                                help="also run the scenario uninterrupted and "
+                                     "fail unless the records are identical")
+    p_snap_restore.add_argument("--store", default=None, metavar="PATH",
+                                help="write the resumed record into this "
+                                     "JSONL result store")
+    p_snap_restore.add_argument("--kernel",
+                                choices=("auto", "python", "numpy"),
+                                default=None,
+                                help="NoC kernel pin (speed only)")
+    p_snap_restore.set_defaults(func=cmd_snapshot_restore)
+
+    p_report = sub.add_parser(
+        "report",
+        help="render stored records as text tables and optional PNG figures",
+    )
+    p_report.add_argument("--store", default="results/suite.jsonl",
+                          help="JSONL result store path "
+                               "(default: results/suite.jsonl)")
+    p_report.add_argument("--preset", default=None,
+                          help="restrict to one suite's scenarios "
+                               "(default: every stored record)")
+    p_report.add_argument("--tables", nargs="+",
+                          choices=("suite", "table1", "table2", "activation",
+                                   "ablation", "baselines"),
+                          default=None,
+                          help="report sections to print (default: all with data)")
+    p_report.add_argument("--png", default=None, metavar="DIR",
+                          help="export PNG figures here (requires matplotlib; "
+                               "skips cleanly when it is absent)")
+    p_report.set_defaults(func=cmd_report)
+
     p_bench = sub.add_parser(
         "bench",
         help="run the perf suite and emit/compare a machine-readable report",
@@ -494,6 +732,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="pin the NoC kernel for every workload "
                               "(cycle counts are kernel-independent, so the "
                               "delta is pure implementation speed)")
+    p_bench.add_argument("--update-baseline", default=None, metavar="PATH",
+                         help="promote a downloaded BENCH_ci.json artifact to "
+                              "the committed baseline instead of benchmarking")
+    p_bench.add_argument("--baseline-out", default="benchmarks/BENCH_baseline.json",
+                         metavar="PATH",
+                         help="where --update-baseline writes "
+                              "(default: benchmarks/BENCH_baseline.json)")
     p_bench.set_defaults(func=cmd_bench)
 
     return parser

@@ -206,6 +206,135 @@ class DynamicGraph:
         return g
 
     # ------------------------------------------------------------------
+    # Snapshot support (see repro.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Graph-side state as plain values: blocks, allocator RNG, cursors.
+
+        Root blocks are keyed by vertex id (their addresses are derivable —
+        the constructor re-places them deterministically — but are captured
+        anyway so a restore can verify the layout matches).  Ghost blocks,
+        allocated at runtime, are keyed by their ``(cell, object id)``
+        memory slot.  The ghost allocator's RNG state rides along so the
+        next overflow after a restore picks the same cell the uninterrupted
+        run would.
+        """
+        from repro.snapshot.format import SnapshotError
+
+        cells = self.device.simulator.cells
+        roots = {}
+        for vid, addr in self.vertex_addrs.items():
+            roots[vid] = (addr, self._root_blocks[vid].to_state())
+        ghosts = []
+        for cell in cells:
+            for obj_id, obj in cell.memory.items():
+                if not isinstance(obj, VertexBlock):
+                    raise SnapshotError(
+                        f"cell {cell.cc_id} memory slot {obj_id} holds a "
+                        f"{type(obj).__name__}, not a VertexBlock; "
+                        "graph-level snapshots only cover RPVO state")
+                if not obj.is_root:
+                    ghosts.append((cell.cc_id, obj_id, obj.to_state()))
+        allocator = self.ghost_allocator
+        ingestor = self.ingestor
+        return {
+            "num_vertices": self.num_vertices,
+            "increments_streamed": self.increments_streamed,
+            "edges_streamed": self.edges_streamed,
+            "ghost_blocks_allocated": self.ghost_blocks_allocated,
+            "increment_results": [
+                (r.phase, r.cycles, r.start_cycle, r.end_cycle)
+                for r in self.increment_results
+            ],
+            "roots": roots,
+            "ghosts": ghosts,
+            "allocator": {
+                "name": allocator.name,
+                "rng": allocator.rng.getstate(),
+                "placed": dict(allocator.placed),
+                "distances": list(getattr(allocator, "_distances", [])),
+            },
+            "ingestor": {
+                "edges_inserted": ingestor.edges_inserted,
+                "ghosts_allocated": ingestor.ghosts_allocated,
+                "ghost_forwards": ingestor.ghost_forwards,
+                "future_enqueues": ingestor.future_enqueues,
+            },
+            "algorithm": self._algorithm_scalars(),
+        }
+
+    def _algorithm_scalars(self) -> Dict[str, Any]:
+        """Host-side scalar counters of the attached algorithm (if any)."""
+        if self.algorithm is None:
+            return {}
+        return {
+            key: value
+            for key, value in vars(self.algorithm).items()
+            if isinstance(value, (int, float, str, bool, type(None)))
+        }
+
+    def restore_snapshot_state(self, state: Dict[str, Any]) -> None:
+        """Overlay :meth:`snapshot_state` output onto this freshly built graph.
+
+        The graph must have been constructed from the same spec (vertices,
+        placement, seed, chip) and have streamed nothing yet; the root-block
+        address check catches mismatches.  Cell-level allocation counters
+        are owned by :meth:`repro.arch.simulator.Simulator.restore_state`.
+        """
+        from repro.snapshot.format import SnapshotError
+
+        if state["num_vertices"] != self.num_vertices:
+            raise SnapshotError(
+                f"snapshot has {state['num_vertices']} vertices, this graph "
+                f"has {self.num_vertices}: scenario/spec mismatch")
+        if self.increments_streamed:
+            raise SnapshotError(
+                "restore target must be a freshly built graph "
+                f"(this one already streamed {self.increments_streamed} "
+                "increments)")
+        cells = self.device.simulator.cells
+        for vid, (addr, block_state) in state["roots"].items():
+            if self.vertex_addrs.get(vid) != addr:
+                raise SnapshotError(
+                    f"vertex {vid} was placed at {addr} in the captured run "
+                    f"but at {self.vertex_addrs.get(vid)} here: the chip "
+                    "spec, placement policy or graph seed differs")
+            self._root_blocks[vid].apply_state(block_state)
+        for cc_id, obj_id, block_state in state["ghosts"]:
+            cells[cc_id].memory[obj_id] = VertexBlock.from_state(block_state)
+        self.increments_streamed = state["increments_streamed"]
+        self.edges_streamed = state["edges_streamed"]
+        self.ghost_blocks_allocated = state["ghost_blocks_allocated"]
+        stats = self.device.simulator.stats
+        self.increment_results = [
+            RunResult(cycles=cycles, start_cycle=start, end_cycle=end,
+                      stats=stats, phase=phase)
+            for phase, cycles, start, end in state["increment_results"]
+        ]
+        allocator = self.ghost_allocator
+        alloc_state = state["allocator"]
+        if alloc_state["name"] != allocator.name:
+            raise SnapshotError(
+                f"snapshot used the {alloc_state['name']!r} ghost allocator, "
+                f"this graph uses {allocator.name!r}")
+        allocator.rng.setstate(alloc_state["rng"])
+        allocator.placed = dict(alloc_state["placed"])
+        if hasattr(allocator, "_distances"):
+            allocator._distances = list(alloc_state["distances"])
+        for key, value in state["ingestor"].items():
+            setattr(self.ingestor, key, value)
+        if self.algorithm is not None:
+            for key, value in state["algorithm"].items():
+                setattr(self.algorithm, key, value)
+        # Re-arm the IO channels for items queued but not yet injected at
+        # capture time (the item queues themselves are restored with the
+        # simulator's IO state; only the factory — code — must be rebuilt).
+        io = self.device.simulator.io
+        if io._pending and io._factory is None:
+            io._factory = self.device.make_transfer_factory(
+                INSERT_EDGE_ACTION, self._edge_to_transfer)
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def ghost_report(self) -> Dict[str, Any]:

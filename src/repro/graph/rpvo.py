@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.arch.address import Address
-from repro.runtime.futures import Future
+from repro.runtime.futures import Future, FutureState
 
 #: Sentinel for "no value yet" vertex state (e.g. unreached BFS level).
 INFINITY = 1 << 30
@@ -166,6 +166,83 @@ class VertexBlock:
     def words(self) -> int:
         """Approximate memory footprint in words (for allocation accounting)."""
         return 4 + self.capacity * 2 + len(self.ghosts)
+
+    # ------------------------------------------------------------------
+    # Snapshot support (see repro.snapshot)
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, Any]:
+        """The block as plain values (edges, ghost futures, algorithm state).
+
+        A *pending* ghost future means an allocation continuation is in
+        flight somewhere on the chip — transient state that only exists
+        while a diffusion is running, and that cannot be serialised (its
+        dependent queue holds closures).  Capturing such a block raises;
+        at an increment boundary every future is null or fulfilled with an
+        empty queue, so graph-level captures there always succeed.
+        """
+        from repro.snapshot.format import SnapshotError
+
+        ghost_futures: List[tuple] = []
+        for future in self.ghosts:
+            if future.is_pending or future.queue_length:
+                raise SnapshotError(
+                    f"vertex {self.vid} (depth {self.depth}) has a pending "
+                    "ghost allocation in flight; capture at an increment "
+                    "boundary")
+            ghost_futures.append((future.is_fulfilled, future.peek(),
+                                  future.fulfilled_count))
+        return {
+            "vid": self.vid,
+            "capacity": self.capacity,
+            "is_root": self.is_root,
+            "depth": self.depth,
+            "edges": list(self.edges),
+            "ghost_futures": ghost_futures,
+            "ghost_addrs": list(self.ghost_addrs),
+            "state": dict(self.state),
+            "mirror": list(self.mirror),
+            "inserts_seen": self.inserts_seen,
+            "forwards": self.forwards,
+        }
+
+    def apply_state(self, state: Dict[str, Any]) -> None:
+        """Overlay :meth:`to_state` output onto this (layout-matching) block."""
+        if (state["vid"] != self.vid or state["capacity"] != self.capacity
+                or len(state["ghost_futures"]) != len(self.ghosts)):
+            from repro.snapshot.format import SnapshotError
+
+            raise SnapshotError(
+                f"snapshot block v{state['vid']} (capacity "
+                f"{state['capacity']}) does not match vertex {self.vid} "
+                f"(capacity {self.capacity}): the chip spec or graph seed "
+                "differs from the captured run")
+        self.is_root = state["is_root"]
+        self.depth = state["depth"]
+        self.edges = list(state["edges"])
+        for future, (fulfilled, value, count) in zip(self.ghosts,
+                                                     state["ghost_futures"]):
+            if fulfilled:
+                future.state = FutureState.FULFILLED
+                future.value = value
+            future.fulfilled_count = count
+        self.ghost_addrs = list(state["ghost_addrs"])
+        self.state = dict(state["state"])
+        self.mirror = list(state["mirror"])
+        self.inserts_seen = state["inserts_seen"]
+        self.forwards = state["forwards"]
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "VertexBlock":
+        """Rebuild a (ghost) block captured by :meth:`to_state`."""
+        block = cls(
+            vid=state["vid"],
+            capacity=state["capacity"],
+            ghost_slots=len(state["ghost_futures"]),
+            is_root=state["is_root"],
+            depth=state["depth"],
+        )
+        block.apply_state(state)
+        return block
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = "root" if self.is_root else f"ghost(d{self.depth})"

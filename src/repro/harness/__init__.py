@@ -35,6 +35,7 @@ from repro.harness.bench import (
     compare_bench,
     load_bench,
     run_bench,
+    update_baseline,
     write_bench,
 )
 from repro.harness.pool import TaskResult, WorkerPool, get_pool, shutdown_pool
@@ -46,7 +47,10 @@ from repro.harness.registry import (
     register_suite,
 )
 from repro.harness.report import (
+    ablation_rows_from_records,
     activation_rows_from_records,
+    baseline_rows_from_records,
+    export_png_figures,
     increment_figures_from_records,
     render_store_diff,
     render_suite_report,
@@ -58,10 +62,13 @@ from repro.harness.runner import (
     ScenarioOutcome,
     SuiteReport,
     materialize_dataset,
+    restore_scenario,
+    resume_scenario,
     run_scenario,
     run_scenario_sharded,
     run_suite,
     shard_spans,
+    snapshot_at,
 )
 from repro.harness.scenario import (
     ALGORITHMS,
@@ -80,7 +87,11 @@ from repro.harness.store import (
 __all__ = [
     "ALGORITHMS",
     "BENCH_SCHEMA",
+    "ablation_rows_from_records",
     "activation_rows_from_records",
+    "baseline_rows_from_records",
+    "export_png_figures",
+    "update_baseline",
     "BenchComparison",
     "ChipSpec",
     "DatasetSpec",
@@ -108,12 +119,15 @@ __all__ = [
     "register_suite",
     "render_store_diff",
     "render_suite_report",
+    "restore_scenario",
+    "resume_scenario",
     "run_bench",
     "run_scenario",
     "run_scenario_sharded",
     "run_suite",
     "shard_spans",
     "shutdown_pool",
+    "snapshot_at",
     "suite_table_rows",
     "table1_rows_from_records",
     "table2_rows_from_records",

@@ -173,6 +173,28 @@ def load_bench(path: str | Path) -> Dict[str, Any]:
     return payload
 
 
+def update_baseline(source: str | Path,
+                    dest: str | Path = "benchmarks/BENCH_baseline.json") -> Dict[str, Any]:
+    """Promote a downloaded ``BENCH_ci.json`` artifact to the committed baseline.
+
+    The CI perf gate compares against ``benchmarks/BENCH_baseline.json``;
+    measuring that baseline on a dev machine makes the gate compare across
+    hardware.  This tool (``repro bench --update-baseline``) closes the
+    loop: download the ``bench-report`` artifact from a green CI run on the
+    target hardware and promote it, re-tagged ``baseline``, schema checked,
+    with the provenance tag it was measured under preserved in
+    ``source_tag``.  Returns the written payload.
+    """
+    payload = load_bench(source)
+    if not payload.get("workloads"):
+        raise ValueError(f"{source}: bench report has no workloads; refusing "
+                         "to install an empty baseline")
+    payload["source_tag"] = payload.get("tag", "?")
+    payload["tag"] = "baseline"
+    write_bench(dest, payload)
+    return payload
+
+
 @dataclass
 class ComparisonRow:
     """One workload's current-vs-baseline verdict."""

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
-from repro.harness.scenario import ChipSpec, DatasetSpec, Scenario
+from repro.harness.scenario import ChipSpec, DatasetSpec, RunOptions, Scenario
 
 #: Default seed shared by the built-in suites (same as the benchmarks).
 SUITE_SEED = 7
@@ -268,6 +268,83 @@ register_suite(
     "Figures 6/7/9 workloads: 500K-class x {edge,snowball} x {ingest,bfs} "
     "at benchmark floors (4 scenarios)",
     _figures_500k,
+)
+
+
+def _ablation_suite() -> List[Scenario]:
+    """The paper's ablations as stored scenarios (ports ``bench_ablation_*``).
+
+    One skewed workload — snowball sampling concentrates edges on hub
+    vertices, and a small edge-list capacity forces them into ghost chains
+    — swept over the three knobs the hand-rolled ablation benchmarks
+    varied: ghost allocator (Figure 5: vicinity vs random), dimension-order
+    routing (YX vs XY) and NoC fidelity (cycle-accurate vs latency).  The
+    ``ablation`` report section groups the stored records per knob.
+    """
+    dataset = DatasetSpec(vertices=200, edges=2400, sampling="snowball",
+                          seed=SUITE_SEED)
+    scenarios = [
+        Scenario(
+            name=f"ablation-allocator-{allocator}",
+            dataset=dataset,
+            chip=ChipSpec(side=16, edge_list_capacity=8),
+            algorithm="bfs",
+            options=RunOptions(ghost_allocator=allocator),
+        )
+        for allocator in ("vicinity", "random")
+    ]
+    scenarios += [
+        Scenario(
+            name=f"ablation-routing-{routing}",
+            dataset=dataset,
+            chip=ChipSpec(side=16, edge_list_capacity=8, routing=routing),
+            algorithm="bfs",
+        )
+        for routing in ("yx", "xy")
+    ]
+    scenarios += [
+        Scenario(
+            name=f"ablation-fidelity-{fidelity}",
+            dataset=dataset,
+            chip=ChipSpec(side=16, edge_list_capacity=8, fidelity=fidelity),
+            algorithm="bfs",
+        )
+        for fidelity in ("cycle", "latency")
+    ]
+    return scenarios
+
+
+register_suite(
+    "ablations",
+    "allocator/routing/fidelity ablations on one skewed workload "
+    "(6 scenarios; ports bench_ablation_*)",
+    _ablation_suite,
+)
+
+
+def _baseline_comparison() -> List[Scenario]:
+    """The chip side of ``bench_baseline_comparison`` as a stored pair.
+
+    Ingest and ingest+BFS on one edge-sampled workload; the ``baselines``
+    report section puts the stored incremental cycle counts next to the
+    bulk-synchronous (Pregel-style) estimator's per-increment cost, which
+    is recomputed cheaply from the dataset spec at render time.
+    """
+    dataset = DatasetSpec(vertices=320, edges=3200, sampling="edge",
+                          seed=SUITE_SEED)
+    chip = ChipSpec(side=16)
+    return [
+        Scenario(name=f"baseline-{algorithm}", dataset=dataset, chip=chip,
+                 algorithm=algorithm)
+        for algorithm in ("ingest", "bfs")
+    ]
+
+
+register_suite(
+    "baseline-comparison",
+    "incremental message-driven BFS vs the BSP strawman "
+    "(2 scenarios; ports bench_baseline_comparison)",
+    _baseline_comparison,
 )
 
 

@@ -135,6 +135,84 @@ def activation_rows_from_records(records: Sequence[Record]) -> List[Dict[str, ob
     return rows
 
 
+def ablation_rows_from_records(records: Sequence[Record]) -> List[Dict[str, object]]:
+    """Ablation sweep table: one row per ``ablation-<knob>-<value>`` record.
+
+    Groups the ``ablations`` suite's stored records by the knob being
+    varied (allocator / routing / fidelity) so the cycle, hop, ghost and
+    energy movements the hand-rolled ``bench_ablation_*`` benchmarks
+    printed are readable straight from the store.
+    """
+    rows: List[Dict[str, object]] = []
+    for record in records:
+        name = str(record.get("name", ""))
+        if not name.startswith("ablation-"):
+            continue
+        parts = name.split("-", 2)
+        knob, value = (parts[1], parts[2]) if len(parts) == 3 else ("?", name)
+        stats = record.get("stats") or {}
+        rows.append(
+            {
+                "Knob": knob,
+                "Value": value,
+                "Cycles": record["total_cycles"],
+                "Hops": stats.get("hops", "-"),
+                "Ghost Blocks": record.get("ghost_blocks", "-"),
+                "Edges": record.get("edges_stored", "-"),
+                "Energy (uJ)": round(record["energy"]["total_uj"], 1),
+            }
+        )
+    rows.sort(key=lambda r: (str(r["Knob"]), str(r["Value"])))
+    return rows
+
+
+def baseline_rows_from_records(records: Sequence[Record]) -> List[Dict[str, object]]:
+    """Baseline comparison: incremental chip cycles vs the BSP estimator.
+
+    Pairs ``baseline-ingest``/``baseline-bfs`` records and recomputes the
+    bulk-synchronous strawman's per-increment cost estimate from the
+    dataset spec (cheap: the BSP engine is functional, no chip is
+    simulated).  Skips the BSP columns cleanly when the dataset generators
+    are unavailable (numpy-free install).
+    """
+    rows: List[Dict[str, object]] = []
+    for group in _pair_records(records).values():
+        ingest, bfs = group.get("ingest"), group.get("bfs")
+        if ingest is None or bfs is None:
+            continue
+        if not str(ingest.get("name", "")).startswith("baseline-"):
+            continue
+        ingest_cycles = ingest["increment_cycles"]
+        bfs_cycles = bfs["increment_cycles"]
+        bsp_results = None
+        try:
+            from repro.baselines.bsp import bsp_incremental_bfs
+            from repro.harness.runner import materialize_dataset
+            from repro.harness.scenario import DatasetSpec
+
+            spec = bfs["scenario"]
+            dataset = materialize_dataset(DatasetSpec(**spec["dataset"]))
+            side = spec["chip"]["side"]
+            bsp_results = bsp_incremental_bfs(
+                dataset.num_vertices, dataset.increments,
+                root=spec["options"]["root"], num_workers=side * side,
+            )
+        except RuntimeError:
+            pass  # numpy-free install: dataset generation unavailable
+        for i in range(len(bfs_cycles)):
+            row: Dict[str, object] = {
+                "Increment": i + 1,
+                "Incremental (ingest+BFS)": bfs_cycles[i],
+                "Incremental BFS overhead": max(
+                    0, bfs_cycles[i] - ingest_cycles[i]),
+            }
+            if bsp_results is not None:
+                row["BSP estimate"] = bsp_results[i].estimated_cycles
+                row["BSP supersteps"] = bsp_results[i].supersteps
+            rows.append(row)
+    return rows
+
+
 def increment_figures_from_records(records: Sequence[Record]) -> List[FigureData]:
     """Figure 8/9 analogues (cycles per increment) from paired records."""
     figures: List[FigureData] = []
@@ -159,10 +237,12 @@ def render_suite_report(records: Sequence[Record], *,
     """Render a full text report for a suite's records.
 
     ``tables`` selects sections out of ``("suite", "table1", "table2",
-    "activation")``; by default every section that has data is included.
+    "activation", "ablation", "baselines")``; by default every section
+    that has data is included.
     """
     wanted = (tuple(tables) if tables is not None
-              else ("suite", "table1", "table2", "activation"))
+              else ("suite", "table1", "table2", "activation", "ablation",
+                    "baselines"))
     sections: List[str] = []
     if "suite" in wanted:
         sections.append("Suite results:\n"
@@ -182,7 +262,76 @@ def render_suite_report(records: Sequence[Record], *,
         if rows:
             sections.append("Figure 6/7 analogue (cell activation):\n"
                             + render_table(rows, max_width=36))
+    if "ablation" in wanted:
+        rows = ablation_rows_from_records(records)
+        if rows:
+            sections.append("Ablation sweeps (allocator / routing / fidelity):\n"
+                            + render_table(rows, max_width=36))
+    if "baselines" in wanted:
+        rows = baseline_rows_from_records(records)
+        if rows:
+            sections.append("Baseline comparison (incremental vs BSP estimate):\n"
+                            + render_table(rows))
     return "\n\n".join(sections)
+
+
+def export_png_figures(records: Sequence[Record], outdir) -> List:
+    """Write PNG figures rebuilt from stored records (``repro report --png``).
+
+    Emits one cycles-per-increment figure per ingest/BFS pair (Figure 8/9
+    analogue) plus one mean/peak activation summary over every scenario
+    that recorded activation stats (Figure 6/7 analogue).  Returns the
+    written paths; an **empty list when matplotlib is not installed** — the
+    optional dependency is probed through :mod:`repro._compat`, so callers
+    skip cleanly rather than crash.
+    """
+    from pathlib import Path
+
+    from repro._compat import get_matplotlib
+
+    plt = get_matplotlib()
+    if plt is None:
+        return []
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+
+    for figure in increment_figures_from_records(records):
+        fig, ax = plt.subplots(figsize=(7, 4.5))
+        for label, series in figure.series.items():
+            ax.plot(range(1, len(series) + 1), series, marker="o", label=label)
+        ax.set_title(figure.title)
+        ax.set_xlabel(figure.x_label)
+        ax.set_ylabel(figure.y_label)
+        ax.legend()
+        fig.tight_layout()
+        slug = "".join(c if c.isalnum() or c in "-_" else "-"
+                       for c in figure.title.lower())[:60]
+        path = outdir / f"increments-{slug}.png"
+        fig.savefig(path, dpi=120)
+        plt.close(fig)
+        written.append(path)
+
+    rows = activation_rows_from_records(records)
+    if rows:
+        fig, ax = plt.subplots(figsize=(max(7, 1.2 * len(rows)), 4.5))
+        xs = range(len(rows))
+        ax.bar([x - 0.2 for x in xs], [r["Mean Active %"] for r in rows],
+               width=0.4, label="Mean active %")
+        ax.bar([x + 0.2 for x in xs], [r["Peak Active %"] for r in rows],
+               width=0.4, label="Peak active %")
+        ax.set_xticks(list(xs))
+        ax.set_xticklabels([str(r["Scenario"]) for r in rows],
+                           rotation=30, ha="right")
+        ax.set_ylabel("Compute cells active (%)")
+        ax.set_title("Cell activation by scenario")
+        ax.legend()
+        fig.tight_layout()
+        path = outdir / "activation.png"
+        fig.savefig(path, dpi=120)
+        plt.close(fig)
+        written.append(path)
+    return written
 
 
 def _record_labels(records: Sequence[Record]) -> str:

@@ -21,22 +21,25 @@ Increment sharding
 ``shard_increments=N`` splits one scenario's increment stream into N
 contiguous spans, each executed as its own pool task
 (:func:`run_scenario_sharded`).  The chip's state is sequential — increment
-``i`` runs against the graph that increments ``0..i-1`` built — so a shard
-covering ``[start, stop)`` first *replays* increments ``[0, start)`` with
-the identical simulation and then measures its own span; the final shard
-also runs the query phase and extracts the end-of-run statistics.  The
-merge concatenates the measured spans in order and is **byte-identical to a
-serial run** because every shard derives its state from the same
-deterministic spec.
+``i`` runs against the graph that increments ``0..i-1`` built — so spans
+need that state from somewhere.  Two modes exist:
 
-Be explicit about the cost model: replaying prefixes means sharding *adds*
-CPU work (shard ``k`` re-simulates everything before its span) and cannot
-finish before the final shard, which spans the whole stream.  What sharding
-buys is operational, not asymptotic: per-shard ``--timeout`` granularity on
-long streams, finer progress/failure units (an interrupted run loses one
-span, not the scenario), and a built-in cross-process determinism audit —
-the acceptance check that sharded records equal serial ones exercises every
-increment boundary.
+* **Replay** (the default): a shard covering ``[start, stop)`` first
+  *replays* increments ``[0, start)`` with the identical simulation and
+  then measures its own span.  Replay adds CPU work quadratically in the
+  shard count; what it buys is operational — per-shard ``--timeout``
+  granularity, finer failure units, a cross-process determinism audit.
+* **Pipeline** (``pipeline=True`` / ``--pipeline``): shard K starts from
+  the :mod:`repro.snapshot` checkpoint its predecessor captured at
+  boundary ``K·span`` (checkpoints flow through a temporary spill
+  directory, or stay in memory for in-process runs), so **no increment is
+  ever simulated twice** — total CPU is O(increments) regardless of shard
+  count.  The bit-identical-schedule guarantee of restored snapshots (see
+  docs/snapshot.md) is what makes this safe.
+
+Either way the merge concatenates the measured spans in order and is
+**byte-identical to a serial run**, because every shard derives its state
+from the same deterministic spec.
 """
 
 from __future__ import annotations
@@ -131,31 +134,22 @@ def _algorithm_metrics(kind: str, algorithm, graph: DynamicGraph) -> Dict[str, A
 
 
 # ----------------------------------------------------------------------
-# Span execution (the shared core of whole-scenario and sharded runs)
+# Materialisation / finalisation (shared by whole, sharded, pipelined and
+# snapshot-restored runs)
 # ----------------------------------------------------------------------
-def _execute_span(
+def _materialize(
     scenario: Scenario,
-    start: int,
-    stop: Optional[int],
-    want_final: bool,
-    timings: Optional[Dict[str, float]] = None,
     kernel: Optional[str] = None,
-) -> Dict[str, Any]:
-    """Run increments ``[0, stop)``, measuring only ``[start, stop)``.
+    *,
+    seed_algorithm: bool = True,
+) -> Tuple[StreamingDataset, AMCCADevice, DynamicGraph, Any]:
+    """Build the dataset + device + graph + algorithm a scenario describes.
 
-    Increments before ``start`` are *replayed* — executed identically but
-    not reported — because the graph state they build is the starting point
-    of the measured span.  With ``want_final`` (the last shard, or a whole
-    run) the query phase runs and end-of-run statistics are extracted.
-
-    ``timings``, when given, receives wall-clock phase durations
-    (``setup_s``, ``sim_s``) for the benchmark driver; they never enter the
-    returned payload, which stays fully deterministic.  ``kernel``
-    overrides the scenario's NoC kernel pin (a speed knob only: records
-    are bit-identical across kernels).
+    ``seed_algorithm=False`` skips the algorithm's host-side seeding (e.g.
+    BFS's root injection): a snapshot restore overlays the seeded state, so
+    re-seeding would double-inject.
     """
     opts: RunOptions = scenario.options
-    t0 = time.perf_counter()
     dataset = materialize_dataset(scenario.dataset)
     chip = scenario.chip.to_chip_config()
     if kernel is not None:
@@ -172,8 +166,89 @@ def _execute_span(
     algorithm = make_algorithm(scenario)
     if algorithm is not None:
         graph.attach(algorithm)
-        if hasattr(algorithm, "seed"):
+        if seed_algorithm and hasattr(algorithm, "seed"):
             algorithm.seed(graph, root=opts.root)
+    return dataset, device, graph, algorithm
+
+
+def _final_payload(
+    scenario: Scenario,
+    dataset: StreamingDataset,
+    device: AMCCADevice,
+    graph: DynamicGraph,
+    algorithm,
+) -> Dict[str, Any]:
+    """End-of-run payload: query phase + statistics extraction."""
+    # Query algorithms (triangles, jaccard, pagerank-delta) diffuse over
+    # the ingested graph after streaming quiesces.
+    query_cycles = 0
+    if algorithm is not None and hasattr(algorithm, "run"):
+        query_result = algorithm.run(graph)
+        query_cycles = query_result.cycles
+    stats = device.stats()
+    energy = device.energy_report()
+    ghosts = graph.ghost_report()
+    return {
+        "increment_sizes": dataset.increment_sizes(),
+        "query_cycles": query_cycles,
+        "energy": energy.as_dict(),
+        "stats": stats.summary(),
+        "edges_stored": graph.total_edges_stored(),
+        "ghost_blocks": ghosts["ghost_blocks"],
+        "algo_metrics": _algorithm_metrics(scenario.algorithm, algorithm, graph),
+    }
+
+
+def _snapshot_path(directory: str, scenario: Scenario, increment: int) -> str:
+    """Canonical checkpoint filename for a scenario at a boundary."""
+    import os
+
+    return os.path.join(directory, f"{scenario.name}-inc{increment:04d}.snap")
+
+
+def _save_checkpoint(graph: DynamicGraph, scenario: Scenario,
+                     increment: int, path: str) -> None:
+    """Capture + atomically save one increment-boundary checkpoint."""
+    from repro.snapshot import capture
+
+    capture(graph, extra_meta={
+        "spec_hash": scenario.spec_hash(),
+        "scenario": scenario.name,
+        "increment": increment,
+    }).save(path)
+
+
+# ----------------------------------------------------------------------
+# Span execution (the shared core of whole-scenario and sharded runs)
+# ----------------------------------------------------------------------
+def _execute_span(
+    scenario: Scenario,
+    start: int,
+    stop: Optional[int],
+    want_final: bool,
+    timings: Optional[Dict[str, float]] = None,
+    kernel: Optional[str] = None,
+    snapshot_every: int = 0,
+    snapshot_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run increments ``[0, stop)``, measuring only ``[start, stop)``.
+
+    Increments before ``start`` are *replayed* — executed identically but
+    not reported — because the graph state they build is the starting point
+    of the measured span.  With ``want_final`` (the last shard, or a whole
+    run) the query phase runs and end-of-run statistics are extracted.
+
+    ``timings``, when given, receives wall-clock phase durations
+    (``setup_s``, ``sim_s``) for the benchmark driver; they never enter the
+    returned payload, which stays fully deterministic.  ``kernel``
+    overrides the scenario's NoC kernel pin (a speed knob only: records
+    are bit-identical across kernels).  ``snapshot_every``/``snapshot_dir``
+    checkpoint the run at every Nth increment boundary (resumable runs);
+    checkpoints never change the payload either.
+    """
+    t0 = time.perf_counter()
+    opts: RunOptions = scenario.options
+    dataset, device, graph, algorithm = _materialize(scenario, kernel)
     t1 = time.perf_counter()
 
     total = len(dataset.increments)
@@ -192,31 +267,22 @@ def _execute_span(
         )
         if i > start:
             measured.append(result.cycles)
+        if snapshot_every > 0 and snapshot_dir and i % snapshot_every == 0:
+            _save_checkpoint(graph, scenario, i,
+                             _snapshot_path(snapshot_dir, scenario, i))
 
     part: Dict[str, Any] = {
         "spec_hash": scenario.spec_hash(),
         "span": [start, stop],
         "increment_cycles": measured,
+        # How many increments this task actually simulated (replay included):
+        # the quantity pipeline mode exists to shrink.  Diagnostic only —
+        # the merge never copies it into the record.
+        "simulated_increments": stop,
     }
     if want_final:
-        # Query algorithms (triangles, jaccard, pagerank-delta) diffuse over
-        # the ingested graph after streaming quiesces.
-        query_cycles = 0
-        if algorithm is not None and hasattr(algorithm, "run"):
-            query_result = algorithm.run(graph)
-            query_cycles = query_result.cycles
-        stats = device.stats()
-        energy = device.energy_report()
-        ghosts = graph.ghost_report()
-        part["final"] = {
-            "increment_sizes": dataset.increment_sizes(),
-            "query_cycles": query_cycles,
-            "energy": energy.as_dict(),
-            "stats": stats.summary(),
-            "edges_stored": graph.total_edges_stored(),
-            "ghost_blocks": ghosts["ghost_blocks"],
-            "algo_metrics": _algorithm_metrics(scenario.algorithm, algorithm, graph),
-        }
+        part["final"] = _final_payload(scenario, dataset, device, graph,
+                                       algorithm)
     if timings is not None:
         timings["setup_s"] = t1 - t0
         timings["sim_s"] = time.perf_counter() - t1
@@ -254,8 +320,97 @@ def run_scenario(
     kernel: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Execute one scenario end to end and return its result record."""
-    part = _execute_span(scenario, 0, None, True, timings, kernel)
+    opts = scenario.options
+    part = _execute_span(scenario, 0, None, True, timings, kernel,
+                         snapshot_every=opts.snapshot_every,
+                         snapshot_dir=opts.snapshot_dir)
     return _assemble_record(scenario, part["increment_cycles"], part["final"])
+
+
+# ----------------------------------------------------------------------
+# Snapshot restore / resume
+# ----------------------------------------------------------------------
+def restore_scenario(
+    scenario: Scenario, snapshot, *, kernel: Optional[str] = None,
+) -> Tuple[StreamingDataset, AMCCADevice, DynamicGraph, Any]:
+    """Rebuild a scenario's run mid-stream from a snapshot.
+
+    Reconstructs the code side (device, registry, graph skeleton,
+    algorithm — *without* re-seeding) from the declarative spec and
+    overlays the snapshot's state.  The snapshot must have been captured
+    from the same spec: the embedded ``spec_hash`` (which folds in
+    :data:`repro.__version__`) is checked before anything is touched.
+    """
+    from repro.snapshot import restore_into
+    from repro.snapshot.format import SnapshotError
+
+    expected = scenario.spec_hash()
+    recorded = snapshot.meta.get("spec_hash")
+    if recorded is not None and recorded != expected:
+        raise SnapshotError(
+            f"snapshot was captured from scenario "
+            f"{snapshot.meta.get('scenario')!r} (spec {recorded[:12]}…), "
+            f"not from {scenario.name!r} (spec {expected[:12]}…)")
+    dataset, device, graph, algorithm = _materialize(
+        scenario, kernel, seed_algorithm=False)
+    restore_into(graph, snapshot)
+    return dataset, device, graph, algorithm
+
+
+def snapshot_at(
+    scenario: Scenario, increment: int, *, kernel: Optional[str] = None,
+):
+    """Run a scenario up to an increment boundary and capture a snapshot.
+
+    ``increment`` counts streamed increments (1-based boundaries): ``K``
+    means "after increment K".  Used by ``repro snapshot save``.
+    """
+    from repro.snapshot import capture
+
+    dataset, device, graph, algorithm = _materialize(scenario, kernel)
+    total = len(dataset.increments)
+    if not (1 <= increment <= total):
+        raise ValueError(
+            f"increment boundary {increment} out of range 1..{total} "
+            f"for {scenario.name!r}")
+    opts = scenario.options
+    for i in range(increment):
+        graph.stream_increment(
+            dataset.increments[i],
+            phase=f"increment-{i + 1}",
+            max_cycles=opts.max_cycles_per_increment,
+        )
+    return capture(graph, extra_meta={
+        "spec_hash": scenario.spec_hash(),
+        "scenario": scenario.name,
+        "increment": increment,
+    })
+
+
+def resume_scenario(
+    scenario: Scenario, snapshot, *, kernel: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Restore from a snapshot, run to completion, return the full record.
+
+    The record is **byte-identical** to an uninterrupted
+    :func:`run_scenario` of the same scenario: per-increment cycles of the
+    already-streamed prefix come from the snapshot's cursor, the remaining
+    increments are simulated, and the final statistics follow from the
+    restored state.
+    """
+    dataset, device, graph, algorithm = restore_scenario(
+        scenario, snapshot, kernel=kernel)
+    opts = scenario.options
+    cycles = graph.per_increment_cycles()
+    for i in range(graph.increments_streamed, len(dataset.increments)):
+        result = graph.stream_increment(
+            dataset.increments[i],
+            phase=f"increment-{i + 1}",
+            max_cycles=opts.max_cycles_per_increment,
+        )
+        cycles.append(result.cycles)
+    final = _final_payload(scenario, dataset, device, graph, algorithm)
+    return _assemble_record(scenario, cycles, final)
 
 
 def shard_spans(num_increments: int, shards: int) -> List[Tuple[int, int]]:
@@ -266,20 +421,166 @@ def shard_spans(num_increments: int, shards: int) -> List[Tuple[int, int]]:
 
 
 def _span_task(spec: Dict[str, Any], start: int, stop: int,
-               want_final: bool, kernel: Optional[str] = None) -> Dict[str, Any]:
+               want_final: bool, kernel: Optional[str] = None,
+               snap_opts: Tuple[int, Optional[str]] = (0, None)) -> Dict[str, Any]:
     """Pool task: one shard of one scenario (module-level, picklable).
 
-    ``kernel`` rides alongside the spec because :meth:`Scenario.spec_dict`
-    deliberately strips the (identity-free) kernel pin.
+    ``kernel`` and ``snap_opts`` ride alongside the spec because
+    :meth:`Scenario.spec_dict` deliberately strips the identity-free
+    kernel pin and ``snapshot_every``/``snapshot_dir`` run options.
     """
+    every, directory = snap_opts
     return _execute_span(Scenario.from_dict(spec), start, stop, want_final,
-                         kernel=kernel)
+                         kernel=kernel, snapshot_every=every,
+                         snapshot_dir=directory)
 
 
 def _scenario_task(spec: Dict[str, Any],
-                   kernel: Optional[str] = None) -> Dict[str, Any]:
-    """Pool task: one whole scenario (module-level, picklable)."""
-    return run_scenario(Scenario.from_dict(spec), kernel=kernel)
+                   kernel: Optional[str] = None,
+                   snap_opts: Optional[Tuple[int, str]] = None) -> Dict[str, Any]:
+    """Pool task: one whole scenario (module-level, picklable).
+
+    ``snap_opts`` re-threads the (identity-free, spec-stripped)
+    ``snapshot_every``/``snapshot_dir`` run options across the process
+    boundary, like ``kernel`` does for the kernel pin.
+    """
+    every, directory = snap_opts if snap_opts is not None else (0, None)
+    scenario = Scenario.from_dict(spec)
+    part = _execute_span(scenario, 0, None, True, kernel=kernel,
+                         snapshot_every=every, snapshot_dir=directory)
+    return _assemble_record(scenario, part["increment_cycles"], part["final"])
+
+
+#: Default ceiling (seconds) a pipeline shard waits for its upstream
+#: checkpoint before giving up (used when no --timeout guards the task).
+PIPELINE_WAIT_S = 600.0
+
+
+def _await_snapshot(path: str, timeout_s: float) -> None:
+    """Block until an upstream shard's checkpoint appears (or fails).
+
+    Checkpoints are written atomically (temp + rename), so existence
+    implies completeness.  A ``<path>.failed`` marker — written by a shard
+    that raised — aborts the wait immediately instead of timing out.
+    """
+    import os
+
+    deadline = time.monotonic() + timeout_s
+    marker = path + ".failed"
+    while not os.path.exists(path):
+        if os.path.exists(marker):
+            raise RuntimeError(
+                f"upstream pipeline shard failed (marker {marker}); "
+                "see its error for the cause")
+        if time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"pipeline shard waited {timeout_s:.0f}s for upstream "
+                f"checkpoint {path}; upstream shard lost or stalled")
+        time.sleep(0.02)
+
+
+def _run_pipeline_span(
+    scenario: Scenario,
+    start: int,
+    stop: int,
+    want_final: bool,
+    kernel: Optional[str],
+    checkpoint,
+    snap_opts: Tuple[int, Optional[str]] = (0, None),
+) -> Tuple[Dict[str, Any], Any]:
+    """The pipeline-shard core shared by the pooled and in-process paths.
+
+    Simulates exactly ``[start, stop)`` — from a fresh materialisation when
+    ``checkpoint`` is ``None`` (shard 0), otherwise from the restored
+    checkpoint — honouring the scenario's ``snapshot_every`` cadence.
+    Returns ``(part, boundary_checkpoint)``; the checkpoint is ``None`` for
+    the final shard, which carries the ``final`` payload instead.  Only the
+    checkpoint *transport* (spill files vs in-memory hand-off) differs
+    between callers.
+    """
+    from repro.snapshot import capture
+
+    if checkpoint is None:
+        dataset, device, graph, algorithm = _materialize(scenario, kernel)
+    else:
+        dataset, device, graph, algorithm = restore_scenario(
+            scenario, checkpoint, kernel=kernel)
+    opts = scenario.options
+    every, directory = snap_opts
+    measured: List[int] = []
+    for i in range(start, stop):
+        result = graph.stream_increment(
+            dataset.increments[i],
+            phase=f"increment-{i + 1}",
+            max_cycles=opts.max_cycles_per_increment,
+        )
+        measured.append(result.cycles)
+        if every > 0 and directory and (i + 1) % every == 0:
+            _save_checkpoint(graph, scenario, i + 1,
+                             _snapshot_path(directory, scenario, i + 1))
+    part: Dict[str, Any] = {
+        "spec_hash": scenario.spec_hash(),
+        "span": [start, stop],
+        "increment_cycles": measured,
+        "simulated_increments": stop - start,
+    }
+    boundary = None
+    if want_final:
+        part["final"] = _final_payload(scenario, dataset, device, graph,
+                                       algorithm)
+    else:
+        boundary = capture(graph, extra_meta={
+            "spec_hash": scenario.spec_hash(),
+            "scenario": scenario.name,
+            "increment": stop,
+        })
+    return part, boundary
+
+
+def _pipeline_span_task(
+    spec: Dict[str, Any],
+    start: int,
+    stop: int,
+    want_final: bool,
+    kernel: Optional[str],
+    snap_in: Optional[str],
+    snap_out: Optional[str],
+    wait_s: float = PIPELINE_WAIT_S,
+    snap_opts: Tuple[int, Optional[str]] = (0, None),
+) -> Dict[str, Any]:
+    """Pool task: one *pipeline* shard — starts from a checkpoint, never
+    replays.
+
+    Shard 0 materialises fresh; shard K waits for the checkpoint its
+    predecessor wrote at boundary ``start``, restores it, and simulates
+    exactly ``[start, stop)``.  Every non-final shard emits the checkpoint
+    at ``stop`` for its successor.  On failure a ``.failed`` marker next to
+    the would-be output unblocks downstream waiters.
+    """
+    from pathlib import Path
+
+    from repro.snapshot import Snapshot
+
+    scenario = Scenario.from_dict(spec)
+    try:
+        checkpoint = None
+        if start != 0:
+            assert snap_in is not None
+            _await_snapshot(snap_in, wait_s)
+            checkpoint = Snapshot.load(snap_in)
+        part, boundary = _run_pipeline_span(
+            scenario, start, stop, want_final, kernel, checkpoint, snap_opts)
+        if boundary is not None:
+            assert snap_out is not None
+            boundary.save(snap_out)
+        return part
+    except BaseException:
+        if snap_out is not None:
+            try:
+                Path(snap_out + ".failed").touch()
+            except OSError:  # pragma: no cover - spill dir already gone
+                pass
+        raise
 
 
 def _merge_shard_parts(
@@ -303,6 +604,25 @@ def _merge_shard_parts(
     return _assemble_record(scenario, cycles, final)
 
 
+def _pipeline_spill_paths(spill_dir: str, scenario: Scenario,
+                          spans: List[Tuple[int, int]]) -> List[Tuple]:
+    """Per-span ``(start, stop, want_final, snap_in, snap_out)`` tuples."""
+    import os
+
+    prefix = scenario.spec_hash()[:16]
+    last = spans[-1][1]
+
+    def path(boundary: int) -> str:
+        return os.path.join(spill_dir, f"{prefix}-inc{boundary:05d}.snap")
+
+    out = []
+    for a, b in spans:
+        out.append((a, b, b == last,
+                    path(a) if a > 0 else None,
+                    path(b) if b != last else None))
+    return out
+
+
 def run_scenario_sharded(
     scenario: Scenario,
     shards: int,
@@ -310,34 +630,120 @@ def run_scenario_sharded(
     pool: Optional[WorkerPool] = None,
     timeout: Optional[float] = None,
     kernel: Optional[str] = None,
+    pipeline: bool = False,
+    parts_out: Optional[List[Dict[str, Any]]] = None,
 ) -> Dict[str, Any]:
     """Run one scenario as sharded spans and merge — byte-identical to serial.
 
     With ``pool`` the spans run as parallel pool tasks (each guarded by
     ``timeout``, if set); without one they run in-process, which still
-    exercises the replay/merge path.  Raises ``TimeoutError`` or
+    exercises the span/merge path.  Raises ``TimeoutError`` or
     ``RuntimeError`` when a shard fails.
+
+    ``pipeline=True`` switches from prefix replay to checkpoint hand-off:
+    shard K restores the snapshot its predecessor captured at boundary
+    K·span and simulates only its own span, so total CPU across shards is
+    O(increments) instead of O(shards · increments).  Checkpoints flow
+    through a temporary spill directory (pooled runs) or stay in memory
+    (in-process runs).  The merged record stays byte-identical either way.
+    ``parts_out``, when given, receives the raw span payloads — their
+    ``simulated_increments`` fields are the no-replay proof the tests and
+    the A/B acceptance check read.
     """
     spans = shard_spans(scenario.dataset.num_increments, shards)
     spec = scenario.spec_dict()
     effective = kernel if kernel is not None else scenario.chip.kernel
+    opts = scenario.options
+    snap_opts = (opts.snapshot_every, opts.snapshot_dir)
     last = spans[-1][1]
     if pool is None:
-        parts = [_span_task(spec, a, b, b == last, effective) for a, b in spans]
+        if pipeline:
+            parts = _pipeline_inprocess(scenario, spans, effective)
+        else:
+            parts = [_span_task(spec, a, b, b == last, effective, snap_opts)
+                     for a, b in spans]
+    elif pipeline:
+        import shutil
+        import tempfile
+
+        spill_dir = tempfile.mkdtemp(prefix="repro-pipeline-")
+        try:
+            tasks = [
+                (_pipeline_span_task,
+                 (spec, a, b, final, effective, snap_in, snap_out,
+                  _pipeline_wait_s(timeout, index), snap_opts))
+                for index, (a, b, final, snap_in, snap_out)
+                in enumerate(_pipeline_spill_paths(spill_dir, scenario, spans))
+            ]
+            outcomes = pool.run_tasks(tasks, timeout=timeout)
+            _raise_on_shard_failure(scenario, outcomes, timeout)
+            parts = [o.value for o in outcomes]
+        finally:
+            shutil.rmtree(spill_dir, ignore_errors=True)
     else:
         outcomes = pool.run_tasks(
-            [(_span_task, (spec, a, b, b == last, effective)) for a, b in spans],
+            [(_span_task, (spec, a, b, b == last, effective, snap_opts))
+             for a, b in spans],
             timeout=timeout,
         )
-        for outcome in outcomes:
-            if outcome.status == "timeout":
-                raise TimeoutError(
-                    f"shard of {scenario.name!r} exceeded {timeout}s")
-            if outcome.status != "ok":
-                raise RuntimeError(
-                    f"shard of {scenario.name!r} failed:\n{outcome.error}")
+        _raise_on_shard_failure(scenario, outcomes, timeout)
         parts = [o.value for o in outcomes]
+    if parts_out is not None:
+        parts_out.extend(parts)
     return _merge_shard_parts(scenario, parts)
+
+
+def _pipeline_wait_s(timeout: Optional[float], span_index: int) -> float:
+    """Checkpoint-wait budget for pipeline shard ``span_index``.
+
+    The wait legitimately spans the *cumulative* runtime of every upstream
+    shard (shard K cannot see its input before shards 0..K-1 have all
+    run), so the unguarded default scales with the shard index instead of
+    applying one flat cap that long runs would trip spuriously.  An
+    explicit ``--timeout`` takes over outright — the pool kills overdue
+    waiters anyway, so a tighter in-task deadline would only race it.
+    """
+    if timeout is not None:
+        return timeout
+    return PIPELINE_WAIT_S * max(1, span_index)
+
+
+def _raise_on_shard_failure(scenario: Scenario, outcomes, timeout) -> None:
+    for outcome in outcomes:
+        if outcome.status == "timeout":
+            raise TimeoutError(
+                f"shard of {scenario.name!r} exceeded {timeout}s")
+        if outcome.status != "ok":
+            raise RuntimeError(
+                f"shard of {scenario.name!r} failed:\n{outcome.error}")
+
+
+def _pipeline_inprocess(
+    scenario: Scenario, spans: List[Tuple[int, int]], kernel: Optional[str],
+) -> List[Dict[str, Any]]:
+    """Pipeline shards executed in-process: checkpoints stay in memory.
+
+    Exercises the exact capture → restore → resume path of the pooled
+    pipeline (each span restores from a *decoded copy* of the bytes the
+    previous span captured) without touching the filesystem.
+    """
+    from repro.snapshot import Snapshot
+
+    opts = scenario.options
+    snap_opts = (opts.snapshot_every, opts.snapshot_dir)
+    last = spans[-1][1]
+    parts: List[Dict[str, Any]] = []
+    checkpoint = None
+    for a, b in spans:
+        part, boundary = _run_pipeline_span(
+            scenario, a, b, b == last, kernel,
+            (Snapshot.from_bytes(checkpoint.to_bytes())
+             if checkpoint is not None else None),
+            snap_opts,
+        )
+        checkpoint = boundary
+        parts.append(part)
+    return parts
 
 
 # ----------------------------------------------------------------------
@@ -405,6 +811,7 @@ def run_suite(
     expect_cached: bool = False,
     pool: Optional[WorkerPool] = None,
     kernel: Optional[str] = None,
+    pipeline: bool = False,
 ) -> SuiteReport:
     """Run a suite of scenarios, consulting and filling the result store.
 
@@ -442,6 +849,12 @@ def run_suite(
         ``"auto"``).  A speed knob only: records, spec hashes and cache
         behaviour are identical across kernels, so this composes freely
         with the store.
+    pipeline:
+        With ``shard_increments > 1``, hand chip state between shards as
+        :mod:`repro.snapshot` checkpoints instead of replaying prefixes:
+        shard K starts from the snapshot emitted at boundary K·span, so no
+        increment is ever simulated twice.  Stores stay byte-identical to
+        serial runs.
     """
     say = progress or (lambda _msg: None)
     started = time.perf_counter()
@@ -476,17 +889,19 @@ def run_suite(
             outcomes = _run_pending_pooled(
                 scenarios, pending, pool or get_pool(workers),
                 shard_increments=shard_increments, timeout=timeout,
-                max_workers=workers, kernel=kernel,
+                max_workers=workers, kernel=kernel, pipeline=pipeline,
             )
         else:
             # Serial in-process path.  Sharding still executes span-by-span
-            # (exercising the replay/merge path) so the flag never silently
-            # no-ops just because jobs defaulted to 1.
+            # (exercising the span/merge — and, with --pipeline, the
+            # capture/restore — path) so the flag never silently no-ops
+            # just because jobs defaulted to 1.
             outcomes = []
             for i in pending:
                 if shard_increments > 1:
                     record = run_scenario_sharded(scenarios[i], shard_increments,
-                                                  kernel=kernel)
+                                                  kernel=kernel,
+                                                  pipeline=pipeline)
                 else:
                     record = run_scenario(scenarios[i], kernel=kernel)
                 outcomes.append(
@@ -526,13 +941,21 @@ def _run_pending_pooled(
     timeout: Optional[float],
     max_workers: Optional[int] = None,
     kernel: Optional[str] = None,
+    pipeline: bool = False,
 ) -> List[ScenarioOutcome]:
     """Run pending scenarios on a pool, sharding each when asked to.
 
     All tasks (shards of every pending scenario) go into one batch so spans
     of a long scenario interleave with other scenarios across the workers.
     Returns one outcome per pending index, in ``pending`` order.
+
+    Pipeline mode keeps every scenario's spans contiguous and in span order
+    within the batch.  Combined with the pool's in-order dispatch this
+    guarantees progress: the earliest unfinished span of any scenario
+    always has a finished predecessor, so a worker blocked on an upstream
+    checkpoint can never deadlock the batch.
     """
+    spill_dir: Optional[str] = None
     tasks = []
     task_owner: List[int] = []  # task index -> position in `pending`
     for pos, i in enumerate(pending):
@@ -540,17 +963,42 @@ def _run_pending_pooled(
         effective = kernel if kernel is not None else scenario.chip.kernel
         spans = (shard_spans(scenario.dataset.num_increments, shard_increments)
                  if shard_increments > 1 else [])
+        opts = scenario.options
+        snap_opts = (opts.snapshot_every, opts.snapshot_dir)
         if len(spans) > 1:
             last = spans[-1][1]
             spec = scenario.spec_dict()
-            for a, b in spans:
-                tasks.append((_span_task, (spec, a, b, b == last, effective)))
-                task_owner.append(pos)
+            if pipeline:
+                if spill_dir is None:
+                    import tempfile
+
+                    spill_dir = tempfile.mkdtemp(prefix="repro-pipeline-")
+                for index, (a, b, final, snap_in, snap_out) in enumerate(
+                        _pipeline_spill_paths(spill_dir, scenario, spans)):
+                    tasks.append((_pipeline_span_task,
+                                  (spec, a, b, final, effective, snap_in,
+                                   snap_out, _pipeline_wait_s(timeout, index),
+                                   snap_opts)))
+                    task_owner.append(pos)
+            else:
+                for a, b in spans:
+                    tasks.append((_span_task,
+                                  (spec, a, b, b == last, effective,
+                                   snap_opts)))
+                    task_owner.append(pos)
         else:
-            tasks.append((_scenario_task, (scenario.spec_dict(), effective)))
+            tasks.append((_scenario_task,
+                          (scenario.spec_dict(), effective, snap_opts)))
             task_owner.append(pos)
 
-    results = pool.run_tasks(tasks, timeout=timeout, max_workers=max_workers)
+    try:
+        results = pool.run_tasks(tasks, timeout=timeout,
+                                 max_workers=max_workers)
+    finally:
+        if spill_dir is not None:
+            import shutil
+
+            shutil.rmtree(spill_dir, ignore_errors=True)
 
     grouped: Dict[int, List[TaskResult]] = {}
     for task_id, result in enumerate(results):

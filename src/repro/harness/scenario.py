@@ -102,12 +102,24 @@ class ChipSpec:
 
 @dataclass(frozen=True)
 class RunOptions:
-    """Knobs of the run itself (allocator, placement, roots, budgets)."""
+    """Knobs of the run itself (allocator, placement, roots, budgets).
+
+    ``snapshot_every``/``snapshot_dir`` make long runs resumable: every N
+    streamed increments the runner saves a :mod:`repro.snapshot` checkpoint
+    into ``snapshot_dir`` (``<scenario>-incNNNN.snap``).  Like the chip's
+    ``kernel`` pin they are **operational knobs, not experiment identity**:
+    a checkpointed run produces the bit-identical record of an
+    uncheckpointed one, so both fields are stripped from
+    :meth:`Scenario.spec_dict` (and therefore from spec hashes, graph seeds
+    and stored records).
+    """
 
     ghost_allocator: str = "vicinity"
     placement: str = "round_robin"
     root: int = 0
     max_cycles_per_increment: Optional[int] = None
+    snapshot_every: int = 0
+    snapshot_dir: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -132,7 +144,8 @@ class Scenario:
     def spec_dict(self) -> Dict[str, Any]:
         """Nested plain-dict form of the scenario (JSON-serialisable).
 
-        The chip's ``kernel`` field is stripped: kernels produce
+        The chip's ``kernel`` field and the run's ``snapshot_every``/
+        ``snapshot_dir`` knobs are stripped: kernels produce
         bit-identical schedules, so the serialised spec (and everything
         derived from it: the canonical JSON, the spec hash, the graph seed,
         the record's embedded scenario) is kernel-independent.  Runners
@@ -141,6 +154,8 @@ class Scenario:
         """
         data = asdict(self)
         data["chip"].pop("kernel", None)
+        data["options"].pop("snapshot_every", None)
+        data["options"].pop("snapshot_dir", None)
         return data
 
     @classmethod

@@ -101,6 +101,17 @@ class AMCCADevice:
         """
         if action not in self.registry:
             raise KeyError(f"action {action!r} must be registered before data transfer")
+        return self.simulator.io.register_transfer(
+            items, self.make_transfer_factory(action, target_fn)
+        )
+
+    def make_transfer_factory(self, action: str, target_fn: TargetFn):
+        """The message factory a data transfer installs on the IO system.
+
+        Exposed separately so a snapshot restore can re-arm the IO channels
+        for items that were queued (but not yet injected) at capture time
+        without re-registering them — the factory is code, not state.
+        """
         size_words = self.registry.size_words(action)
 
         def factory(item: Any, attached_cc: int) -> Message:
@@ -111,7 +122,7 @@ class AMCCADevice:
                 attached_cc, target.cc_id, action, target, operands, size_words,
             )
 
-        return self.simulator.io.register_transfer(items, factory)
+        return factory
 
     # ------------------------------------------------------------------
     # Host-side memory management
@@ -304,6 +315,34 @@ class AMCCADevice:
             stats=sim.stats,
             phase=phase or f"run-{self._run_count}",
         )
+
+    # ------------------------------------------------------------------
+    # Snapshot support (see repro.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Host-side runtime bookkeeping as plain values (snapshot capture).
+
+        The action registry and dispatch wiring are code and are rebuilt by
+        reconstructing the device; only the counters that influence future
+        behaviour (or reports) are captured.  A run must not be in progress:
+        ``run()`` detaches its terminator before returning, so between runs
+        ``_terminator`` is always ``None``.
+        """
+        if self._terminator is not None:  # pragma: no cover - API misuse guard
+            raise RuntimeError("cannot snapshot a device while run() is active")
+        return {
+            "pre_run_sends": self._pre_run_sends,
+            "run_count": self._run_count,
+            "continuations_created": self.continuations.created,
+            "continuations_resumed": self.continuations.resumed,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Load :meth:`snapshot_state` output into a freshly built device."""
+        self._pre_run_sends = state["pre_run_sends"]
+        self._run_count = state["run_count"]
+        self.continuations.created = state["continuations_created"]
+        self.continuations.resumed = state["continuations_resumed"]
 
     # ------------------------------------------------------------------
     # Reporting

@@ -1,0 +1,157 @@
+"""``repro.snapshot``: deterministic checkpoint/restore of mid-stream chip state.
+
+The ROADMAP's scale story was capped by a structural cost: increment
+sharding replayed every shard's prefix, so total CPU grew quadratically
+with shard count.  This package removes that cost.  A :class:`Snapshot`
+captures the **complete data state** of a run at a point in simulated time
+— simulator clock and wake wheel, per-cell execution bookkeeping, NoC
+in-flight messages, IO queues, runtime counters, RPVO blocks, ghost
+allocator RNG, ingest cursors — in a compact, schema-versioned,
+stdlib-only binary format (:mod:`repro.snapshot.format`).  Restoring it
+onto a freshly constructed device/graph yields a simulator whose
+subsequent schedule is **bit-identical** to the uninterrupted run, on
+every NoC kernel; that invariant is what lets the harness turn
+prefix-replay sharding into true pipeline parallelism
+(``repro suite run --shard-increments N --pipeline``) and makes long runs
+resumable (``snapshot_every``).  See docs/snapshot.md.
+
+Code is never serialised: dispatchers, action handlers and message
+factories are rebuilt from the declarative spec by the restore path, and
+state that only exists mid-diffusion (Task closures, pending ghost
+futures, registered continuations) fails capture with an actionable
+error.  Increment boundaries — where the harness captures — never contain
+such state.
+
+API::
+
+    snap = snapshot.capture(graph)            # full mid-stream state
+    snap.save(path);  snap = Snapshot.load(path)
+    snapshot.restore_into(fresh_graph, snap)  # overlay onto a rebuilt graph
+    snap.state_hash                           # cheap equality check
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro import __version__
+from repro.snapshot.format import (
+    SCHEMA_VERSION,
+    SnapshotError,
+    decode_snapshot,
+    encode_snapshot,
+)
+
+
+class Snapshot:
+    """A decoded snapshot: meta (provenance) plus per-component body.
+
+    ``meta`` carries the schema/version/provenance fields shown by
+    ``repro snapshot info``; ``body`` holds one entry per captured
+    component (``sim``, ``io``, ``device``, ``graph``).  ``state_hash``
+    is the SHA-256 of the canonical body encoding, so two snapshots of
+    identical chip state — e.g. one taken mid-pipeline and one taken at
+    the same increment of an uninterrupted run — hash equal without any
+    field-by-field comparison.
+    """
+
+    def __init__(self, meta: Dict[str, Any], body: Dict[str, Any],
+                 state_hash: Optional[str] = None) -> None:
+        self.meta = meta
+        self.body = body
+        self._state_hash = state_hash
+        self._encoded: Optional[bytes] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def state_hash(self) -> str:
+        """SHA-256 (hex) of the encoded body: cheap state equality."""
+        if self._state_hash is None:
+            self.to_bytes()
+        return self._state_hash  # type: ignore[return-value]
+
+    def to_bytes(self) -> bytes:
+        """The snapshot's file bytes (encoded once, then cached)."""
+        if self._encoded is None:
+            self._encoded = encode_snapshot(self.meta, self.body)
+            # The digest is the trailing 32 bytes of the container.
+            self._state_hash = self._encoded[-32:].hex()
+        return self._encoded
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Snapshot":
+        """Decode (and integrity-check) snapshot bytes."""
+        meta, body, state_hash = decode_snapshot(data)
+        snap = cls(meta, body, state_hash=state_hash)
+        snap._encoded = data
+        return snap
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> Path:
+        """Write the snapshot atomically (temp file + rename)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = self.to_bytes()
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".snap.tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Snapshot":
+        """Read and integrity-check a snapshot file."""
+        try:
+            data = Path(path).read_bytes()
+        except OSError as exc:
+            raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+        return cls.from_bytes(data)
+
+    # ------------------------------------------------------------------
+    def require_version(self) -> None:
+        """Refuse to restore state captured by a different repro version.
+
+        The deterministic schedule is a versioned contract (see
+        docs/architecture.md): state captured under one version may be
+        meaningless under another, so the check is strict — like the
+        result store, snapshots are invalidated by version bumps.
+        """
+        written = self.meta.get("repro_version")
+        if written != __version__:
+            raise SnapshotError(
+                f"snapshot was captured by repro {written}, this is "
+                f"{__version__}: the deterministic schedule may have "
+                "changed; re-create the snapshot from a fresh run")
+
+    def info(self) -> Dict[str, Any]:
+        """A flat summary for ``repro snapshot info`` (no restore needed)."""
+        out = dict(self.meta)
+        out["schema"] = SCHEMA_VERSION
+        out["state_hash"] = self.state_hash
+        out["size_bytes"] = len(self.to_bytes())
+        out["sections"] = sorted(self.body)
+        return out
+
+
+from repro.snapshot.capture import capture, capture_simulator  # noqa: E402
+from repro.snapshot.restore import restore_into, restore_simulator  # noqa: E402
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Snapshot",
+    "SnapshotError",
+    "capture",
+    "capture_simulator",
+    "restore_into",
+    "restore_simulator",
+]

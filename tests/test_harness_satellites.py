@@ -1,0 +1,254 @@
+"""Satellites around the snapshot PR: ported benchmark suites, report
+sections (ablation / baselines / PNG export), baseline refresh tooling and
+the snapshot CLI verbs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from helpers import requires_numpy
+
+from repro import __version__
+from repro.harness import get_suite, update_baseline
+from repro.harness.bench import BENCH_SCHEMA, load_bench
+from repro.harness.report import (
+    ablation_rows_from_records,
+    baseline_rows_from_records,
+    export_png_figures,
+    render_suite_report,
+)
+
+
+# ----------------------------------------------------------------------
+# Ported benchmark suites
+# ----------------------------------------------------------------------
+class TestPortedSuites:
+    def test_ablations_suite_registered(self):
+        scenarios = get_suite("ablations")
+        names = [s.name for s in scenarios]
+        assert names == [
+            "ablation-allocator-vicinity", "ablation-allocator-random",
+            "ablation-routing-yx", "ablation-routing-xy",
+            "ablation-fidelity-cycle", "ablation-fidelity-latency",
+        ]
+        # One knob moves per scenario; everything else stays the paper's.
+        by_name = dict(zip(names, scenarios))
+        assert by_name["ablation-allocator-random"].options.ghost_allocator == "random"
+        assert by_name["ablation-routing-xy"].chip.routing == "xy"
+        assert by_name["ablation-fidelity-latency"].chip.fidelity == "latency"
+        # Skewed workload: snowball sampling + small edge lists force ghosts.
+        assert all(s.dataset.sampling == "snowball" for s in scenarios)
+        assert all(s.chip.edge_list_capacity == 8 for s in scenarios)
+
+    def test_baseline_comparison_suite_registered(self):
+        scenarios = get_suite("baseline-comparison")
+        assert [s.algorithm for s in scenarios] == ["ingest", "bfs"]
+        assert all(s.name.startswith("baseline-") for s in scenarios)
+
+    def test_suites_have_distinct_spec_hashes(self):
+        hashes = [s.spec_hash()
+                  for s in get_suite("ablations") + get_suite("baseline-comparison")]
+        assert len(set(hashes)) == len(hashes)
+
+
+# ----------------------------------------------------------------------
+# Report sections
+# ----------------------------------------------------------------------
+def _fake_record(name, algorithm, *, dataset=None, chip=None, cycles=100,
+                 increments=(40, 35, 25)):
+    dataset = dataset or {"vertices": 50, "edges": 200, "sampling": "edge",
+                          "num_increments": len(increments),
+                          "symmetric": False, "weighted": False, "seed": 7}
+    chip = chip or {"side": 8, "fidelity": "cycle", "routing": "yx",
+                    "edge_list_capacity": 8, "ghost_slots": 1,
+                    "clock_ghz": 1.0}
+    return {
+        "spec_hash": f"hash-{name}",
+        "name": name,
+        "repro_version": __version__,
+        "scenario": {"name": name, "dataset": dataset, "chip": chip,
+                     "algorithm": algorithm,
+                     "options": {"ghost_allocator": "vicinity",
+                                 "placement": "round_robin", "root": 0,
+                                 "max_cycles_per_increment": None}},
+        "increment_sizes": [10] * len(increments),
+        "increment_cycles": list(increments),
+        "query_cycles": 0,
+        "total_cycles": cycles,
+        "energy": {"total_uj": 12.5, "time_us": 0.5},
+        "stats": {"hops": 999, "mean_activation": 0.25,
+                  "peak_activation": 0.5},
+        "edges_stored": 200,
+        "ghost_blocks": 3,
+        "algo_metrics": {},
+    }
+
+
+class TestAblationSection:
+    def test_rows_group_by_knob(self):
+        records = [
+            _fake_record("ablation-allocator-vicinity", "bfs", cycles=100),
+            _fake_record("ablation-allocator-random", "bfs", cycles=130),
+            _fake_record("ablation-routing-xy", "bfs", cycles=105),
+            _fake_record("unrelated-bfs", "bfs"),
+        ]
+        rows = ablation_rows_from_records(records)
+        assert [(r["Knob"], r["Value"]) for r in rows] == [
+            ("allocator", "random"), ("allocator", "vicinity"),
+            ("routing", "xy"),
+        ]
+        assert all(r["Hops"] == 999 for r in rows)
+
+    def test_section_renders_only_when_present(self):
+        with_rows = render_suite_report(
+            [_fake_record("ablation-routing-xy", "bfs")])
+        assert "Ablation sweeps" in with_rows
+        without = render_suite_report([_fake_record("plain-bfs", "bfs")])
+        assert "Ablation sweeps" not in without
+
+
+class TestBaselineSection:
+    @requires_numpy
+    def test_rows_pair_records_and_add_bsp_estimates(self):
+        records = [
+            _fake_record("baseline-ingest", "ingest"),
+            _fake_record("baseline-bfs", "bfs", increments=(60, 50, 40)),
+        ]
+        rows = baseline_rows_from_records(records)
+        assert [r["Increment"] for r in rows] == [1, 2, 3]
+        assert [r["Incremental BFS overhead"] for r in rows] == [20, 15, 15]
+        assert all(r["BSP estimate"] > 0 for r in rows)
+        assert all(r["BSP supersteps"] >= 1 for r in rows)
+
+    def test_non_baseline_pairs_are_ignored(self):
+        records = [
+            _fake_record("other-ingest", "ingest"),
+            _fake_record("other-bfs", "bfs"),
+        ]
+        assert baseline_rows_from_records(records) == []
+
+
+class TestPngExport:
+    def test_export_skips_cleanly_or_writes_files(self, tmp_path):
+        from repro._compat import get_matplotlib
+
+        records = [
+            _fake_record("fig-ingest", "ingest"),
+            _fake_record("fig-bfs", "bfs", increments=(60, 50, 40)),
+        ]
+        written = export_png_figures(records, tmp_path / "figs")
+        if get_matplotlib() is None:
+            assert written == []
+        else:  # pragma: no cover - exercised where matplotlib is installed
+            assert written
+            assert all(p.suffix == ".png" and p.stat().st_size > 0
+                       for p in written)
+
+
+# ----------------------------------------------------------------------
+# Baseline refresh tool
+# ----------------------------------------------------------------------
+class TestUpdateBaseline:
+    def _ci_payload(self):
+        return {
+            "schema": BENCH_SCHEMA,
+            "tag": "ci",
+            "suite": "perf",
+            "reps": 5,
+            "repro_version": __version__,
+            "workloads": [{"name": "w", "total_cycles": 10,
+                           "median_cycles_per_sec": 1000.0}],
+        }
+
+    def test_promotes_artifact_and_retags(self, tmp_path):
+        src = tmp_path / "BENCH_ci.json"
+        src.write_text(json.dumps(self._ci_payload()))
+        dest = tmp_path / "BENCH_baseline.json"
+        update_baseline(src, dest)
+        promoted = load_bench(dest)
+        assert promoted["tag"] == "baseline"
+        assert promoted["source_tag"] == "ci"
+        assert promoted["workloads"] == self._ci_payload()["workloads"]
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        src = tmp_path / "bad.json"
+        payload = self._ci_payload()
+        payload["schema"] = "something/else"
+        src.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="unsupported bench schema"):
+            update_baseline(src, tmp_path / "out.json")
+
+    def test_rejects_empty_workloads(self, tmp_path):
+        src = tmp_path / "empty.json"
+        payload = self._ci_payload()
+        payload["workloads"] = []
+        src.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="no workloads"):
+            update_baseline(src, tmp_path / "out.json")
+
+    def test_cli_update_baseline(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src = tmp_path / "BENCH_ci.json"
+        src.write_text(json.dumps(self._ci_payload()))
+        dest = tmp_path / "BENCH_baseline.json"
+        assert main(["bench", "--update-baseline", str(src),
+                     "--baseline-out", str(dest)]) == 0
+        assert "promoted" in capsys.readouterr().out
+        assert load_bench(dest)["tag"] == "baseline"
+
+
+# ----------------------------------------------------------------------
+# Snapshot CLI verbs
+# ----------------------------------------------------------------------
+@requires_numpy
+class TestSnapshotCli:
+    def test_save_info_restore_verify_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        snap_path = tmp_path / "tiny.snap"
+        assert main(["snapshot", "save", "--preset", "tiny",
+                     "--scenario", "tiny-bfs", "--increment", "3",
+                     "--out", str(snap_path)]) == 0
+        assert snap_path.exists()
+        assert main(["snapshot", "info", str(snap_path)]) == 0
+        out = capsys.readouterr().out
+        assert "increment: 3" in out and "state_hash" in out
+
+        store = tmp_path / "resumed.jsonl"
+        assert main(["snapshot", "restore", str(snap_path),
+                     "--preset", "tiny", "--scenario", "tiny-bfs",
+                     "--verify", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+        record = json.loads(store.read_text().splitlines()[0])
+        assert record["name"] == "tiny-bfs"
+
+    def test_restore_wrong_scenario_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        snap_path = tmp_path / "tiny.snap"
+        assert main(["snapshot", "save", "--preset", "tiny",
+                     "--scenario", "tiny-ingest", "--increment", "2",
+                     "--out", str(snap_path)]) == 0
+        assert main(["snapshot", "restore", str(snap_path),
+                     "--preset", "tiny", "--scenario", "tiny-bfs"]) == 2
+        assert "not from" in capsys.readouterr().err
+
+    def test_info_on_corrupt_file_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.snap"
+        bad.write_bytes(b"not a snapshot at all")
+        assert main(["snapshot", "info", str(bad)]) == 2
+        assert "bad magic" in capsys.readouterr().err
+
+    def test_save_out_of_range_boundary_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["snapshot", "save", "--preset", "tiny",
+                     "--scenario", "tiny-bfs", "--increment", "99",
+                     "--out", str(tmp_path / "x.snap")]) == 2
+        assert "out of range" in capsys.readouterr().err

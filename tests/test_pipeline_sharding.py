@@ -1,0 +1,148 @@
+"""Pipeline-parallel increment sharding: byte-identity without prefix replay.
+
+The acceptance contract: ``--shard-increments N --pipeline`` produces a
+store byte-identical to the serial run while the per-shard
+``simulated_increments`` counts prove no increment is simulated twice —
+replay mode's counts grow with shard index, pipeline mode's do not.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from helpers import requires_numpy
+
+from repro.harness import ResultStore, run_suite
+from repro.harness.pool import WorkerPool
+from repro.harness.runner import run_scenario, run_scenario_sharded
+from repro.harness.scenario import ChipSpec, DatasetSpec, Scenario
+
+pytestmark = requires_numpy
+
+
+def eight_increment_scenario(name="pipe-bfs", algorithm="bfs") -> Scenario:
+    return Scenario(
+        name=name,
+        dataset=DatasetSpec(vertices=60, edges=480, num_increments=8, seed=5),
+        chip=ChipSpec(side=8, edge_list_capacity=4),
+        algorithm=algorithm,
+    )
+
+
+class TestInProcess:
+    def test_pipeline_record_identical_to_serial(self):
+        scenario = eight_increment_scenario()
+        serial = run_scenario(scenario)
+        piped = run_scenario_sharded(scenario, 4, pipeline=True)
+        assert json.dumps(piped, sort_keys=True) == \
+            json.dumps(serial, sort_keys=True)
+
+    def test_no_prefix_replay_cpu_proof(self):
+        """Replay CPU grows with shard index; pipeline CPU does not."""
+        scenario = eight_increment_scenario()
+        replay_parts, pipe_parts = [], []
+        replay = run_scenario_sharded(scenario, 4, parts_out=replay_parts)
+        piped = run_scenario_sharded(scenario, 4, pipeline=True,
+                                     parts_out=pipe_parts)
+        assert replay == piped
+        total = scenario.dataset.num_increments
+        spans = [tuple(p["span"]) for p in pipe_parts]
+        # Pipeline: every shard simulates exactly its own span -> total CPU
+        # is one pass over the stream, independent of the shard count.
+        assert [p["simulated_increments"] for p in pipe_parts] == \
+            [b - a for a, b in spans]
+        assert sum(p["simulated_increments"] for p in pipe_parts) == total
+        # Replay: shard K simulates its whole prefix, so the counts climb
+        # with shard index and the last shard covers the full stream.
+        replay_counts = [p["simulated_increments"] for p in replay_parts]
+        assert replay_counts == [b for _a, b in spans]
+        assert replay_counts[-1] == total
+        assert sum(replay_counts) > total
+
+    def test_every_shard_count_at_every_boundary(self):
+        """Interleaved A/B across shard counts: identical records, linear
+        pipeline CPU, quadratic-ish replay CPU."""
+        scenario = eight_increment_scenario(name="pipe-ingest",
+                                            algorithm="ingest")
+        serial = json.dumps(run_scenario(scenario), sort_keys=True)
+        total = scenario.dataset.num_increments
+        for shards in (2, 3, 8):
+            parts = []
+            piped = run_scenario_sharded(scenario, shards, pipeline=True,
+                                         parts_out=parts)
+            assert json.dumps(piped, sort_keys=True) == serial, shards
+            assert sum(p["simulated_increments"] for p in parts) == total
+
+
+class TestPooled:
+    def test_pooled_pipeline_identical_with_fewer_workers_than_shards(self):
+        """5 shards on 2 workers: exercises the in-order dispatch argument
+        that makes checkpoint waiting deadlock-free."""
+        scenario = eight_increment_scenario()
+        serial = run_scenario(scenario)
+        pool = WorkerPool(2)
+        try:
+            parts = []
+            piped = run_scenario_sharded(scenario, 5, pool=pool,
+                                         pipeline=True, timeout=120,
+                                         parts_out=parts)
+        finally:
+            pool.shutdown()
+        assert json.dumps(piped, sort_keys=True) == \
+            json.dumps(serial, sort_keys=True)
+        assert sum(p["simulated_increments"] for p in parts) == \
+            scenario.dataset.num_increments
+
+    def test_suite_pipeline_store_byte_identical(self, tmp_path):
+        scenarios = [
+            eight_increment_scenario(),
+            eight_increment_scenario(name="pipe-ingest", algorithm="ingest"),
+        ]
+        serial_store = ResultStore(tmp_path / "serial.jsonl")
+        report = run_suite(list(scenarios), jobs=1, store=serial_store)
+        assert not report.failures
+        pool = WorkerPool(2)
+        try:
+            pipe_store = ResultStore(tmp_path / "pipe.jsonl")
+            report = run_suite(list(scenarios), jobs=2, store=pipe_store,
+                               shard_increments=4, pipeline=True, pool=pool,
+                               timeout=120)
+        finally:
+            pool.shutdown()
+        assert not report.failures
+        assert (tmp_path / "serial.jsonl").read_bytes() == \
+            (tmp_path / "pipe.jsonl").read_bytes()
+
+    def test_spill_dir_is_cleaned_up(self, tmp_path, monkeypatch):
+        import tempfile
+
+        monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+        scenario = eight_increment_scenario()
+        pool = WorkerPool(2)
+        try:
+            run_scenario_sharded(scenario, 3, pool=pool, pipeline=True,
+                                 timeout=120)
+        finally:
+            pool.shutdown()
+        leftovers = [p for p in os.listdir(tmp_path)
+                     if p.startswith("repro-pipeline-")]
+        assert leftovers == []
+
+
+class TestFailurePropagation:
+    def test_upstream_failure_marker_unblocks_waiters(self, tmp_path):
+        from repro.harness.runner import _await_snapshot
+
+        path = str(tmp_path / "x.snap")
+        open(path + ".failed", "w").close()
+        with pytest.raises(RuntimeError, match="upstream pipeline shard"):
+            _await_snapshot(path, timeout_s=5)
+
+    def test_wait_timeout_is_actionable(self, tmp_path):
+        from repro.harness.runner import _await_snapshot
+
+        with pytest.raises(TimeoutError, match="waited"):
+            _await_snapshot(str(tmp_path / "never.snap"), timeout_s=0.05)
