@@ -3,41 +3,55 @@
 
 The paper renders animations from simulation traces showing how streaming
 dynamic BFS moves parallel control over the cellular grid.  This example
-captures the same trace with :class:`repro.arch.trace.TraceRecorder` while a
-snowball-sampled stream is ingested with BFS enabled, prints a handful of
-ASCII frames (one character per compute cell, ``#`` = active that cycle),
-and saves the full frame stack to ``chip_trace.npz`` for external plotting.
+runs one declarative harness scenario through
+:func:`repro.harness.run_scenario_traced`, which captures an activity frame
+every ``frames_every`` cycles (one character per compute cell, ``#`` =
+active that cycle) and writes a Chrome trace-event JSON of the run — open
+``chip_trace.json`` in Perfetto (https://ui.perfetto.dev) to see the phase
+spans and cycle-skip jumps.  Instrumentation is observer-only: the record
+returned here is byte-identical to an untraced ``run_scenario``.
+
+The full frame stack is additionally saved to ``chip_trace.npz`` when
+numpy is available (frame capture itself is stdlib-only).
 
 Run with:  python examples/chip_animation.py
 """
 
-from repro import AMCCADevice, ChipConfig, DynamicGraph, StreamingBFS
-from repro.datasets import make_streaming_dataset
+from repro._compat import np
+from repro.harness import ChipSpec, DatasetSpec, RunOptions, Scenario
+from repro.harness.runner import run_scenario_traced
 
 
 def main() -> None:
-    chip = ChipConfig(width=16, height=16, edge_list_capacity=8)
-    dataset = make_streaming_dataset(300, 3000, sampling="snowball", seed=9)
+    scenario = Scenario(
+        name="chip-animation",
+        dataset=DatasetSpec(vertices=300, edges=3000, sampling="snowball",
+                            seed=9),
+        chip=ChipSpec(side=16, edge_list_capacity=8),
+        algorithm="bfs",
+        options=RunOptions(),
+    )
 
-    # trace_every=25: capture an activity frame every 25 cycles.
-    device = AMCCADevice(chip, trace_every=25)
-    graph = DynamicGraph(device, dataset.num_vertices, seed=9)
-    bfs = StreamingBFS(root=0)
-    graph.attach(bfs)
-    bfs.seed(graph, root=0)
-
-    for increment in dataset.increments:
-        graph.stream_increment(increment)
+    # frames_every=25: capture an activity frame every 25 cycles.
+    record, device = run_scenario_traced(scenario, frames_every=25,
+                                         trace_path="chip_trace.json")
 
     trace = device.trace
-    print(f"captured {len(trace.frames)} frames over {device.simulator.cycle} cycles\n")
+    print(f"captured {len(trace.frames)} frames over "
+          f"{device.simulator.cycle} cycles\n")
     print(trace.ascii_animation(max_frames=8))
 
-    out = "chip_trace.npz"
-    trace.save_npz(out)
-    print(f"\nfull frame stack saved to {out} "
-          f"(load with repro.arch.trace.TraceRecorder.load_npz)")
-    print(f"BFS reached {len(bfs.results(graph))} of {dataset.num_vertices} vertices")
+    print("\nChrome trace saved to chip_trace.json "
+          "(open in https://ui.perfetto.dev)")
+    if np is not None:
+        trace.save_npz("chip_trace.npz")
+        print("full frame stack saved to chip_trace.npz "
+              "(load with repro.arch.trace.TraceRecorder.load_npz)")
+    else:
+        print("numpy not installed; skipped chip_trace.npz export")
+    print(f"total cycles: {record['total_cycles']}, "
+          f"BFS reached {record['algo_metrics']['reached']} "
+          f"of {scenario.dataset.vertices} vertices")
 
 
 if __name__ == "__main__":

@@ -43,7 +43,10 @@ from repro.datasets import make_streaming_dataset, paper_dataset_configs
 # activation-order sweep, busy-cell parking).  The deterministic schedule
 # changed, so the version bump deliberately invalidates every result-store
 # cache (see docs/harness.md on the spec-hash x version keying contract).
-__version__ = "1.2.0"
+# 1.3.0: observability layer (repro.obs).  The schedule is unchanged, but
+# records gained an embedded deterministic ``metrics`` snapshot, so the
+# bump invalidates caches to keep every stored record shape-uniform.
+__version__ = "1.3.0"
 
 __all__ = [
     "ChipConfig",

@@ -132,6 +132,10 @@ class NumpyCycleAccurateNoC(CycleAccurateNoC):
         self._exit_at = max(8, VECTOR_SWEEP_MIN // 4)
         self._exit_patience = 16
         self._below = 0
+        #: Observability counters (kernel-dependent -- exported through the
+        #: runtime metrics registry and traces only, never into records).
+        self.vector_cycles = 0
+        self.mode_switches = 0
 
         # Per-link queue heads/tails (slot ids, -1 = empty) + vector-epoch
         # activation stamps (the python representation keeps its own).
@@ -266,6 +270,12 @@ class NumpyCycleAccurateNoC(CycleAccurateNoC):
         # simulator re-reads ``noc.inject`` after advance (mode switches
         # happen inside advance), so no caller can hold a stale binding.
         self.inject = MethodType(NumpyCycleAccurateNoC._vector_inject, self)
+        self.mode_switches += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant("vector_mode_enter", cat="kernel",
+                           in_flight=self.in_flight,
+                           active_links=len(self._active))
 
     def _leave_vector_mode(self) -> None:
         """Convert the flat slot representation back to deques + messages."""
@@ -299,6 +309,12 @@ class NumpyCycleAccurateNoC(CycleAccurateNoC):
         self._vector_mode = False
         self._below = 0
         self.__dict__.pop("inject", None)  # back to the inherited inject
+        self.mode_switches += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant("vector_mode_leave", cat="kernel",
+                           in_flight=self.in_flight,
+                           active_links=len(self._active))
 
     # ------------------------------------------------------------------
     # Injection (vector mode; python mode uses the inherited inject, which
@@ -361,6 +377,11 @@ class NumpyCycleAccurateNoC(CycleAccurateNoC):
             self._vector_mode = False
             self._below = 0
             self.__dict__.pop("inject", None)
+            self.mode_switches += 1
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.instant("vector_mode_leave", cat="kernel",
+                               in_flight=0, active_links=0)
             return CycleAccurateNoC.advance(self, cycle)
         elif len(active) < self._enter_at:
             # Sustained sub-threshold activity: the plain loop would win,
@@ -376,6 +397,7 @@ class NumpyCycleAccurateNoC(CycleAccurateNoC):
         self._local_deliveries = []
         if not active:
             return delivered
+        self.vector_cycles += 1
         if len(active) >= self._exit_at:
             # The vector sweep beats the buffer loop well below the python
             # entry threshold (no boxing to amortise), so inside vector mode

@@ -53,6 +53,9 @@ class BaseNoC:
         self.routing = routing
         self.stats = stats
         self.in_flight = 0
+        #: Observability tracer (repro.obs), attached by
+        #: Simulator.attach_tracer; observer-only, None by default.
+        self.tracer = None
 
     # -- interface ------------------------------------------------------
     def inject(self, msg: Message, cycle: int) -> None:

@@ -18,6 +18,7 @@ about actions, vertices or graphs.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.arch.cell import ComputeCell, Task
@@ -73,6 +74,14 @@ class Simulator:
         self.executor: Optional[Executor] = None
         self.trace = TraceRecorder(config, sample_every=trace_every)
         self._trace_enabled = self.trace.enabled
+        #: Observability (repro.obs).  ``tracer`` receives cycle-skip and
+        #: mode-switch instants; ``phase_ns`` accumulates wall time per
+        #: step() phase.  Both are observer-only (no scheduled event moves)
+        #: and default to off: the disabled path costs one attribute read
+        #: and branch per phase.  Unlike TraceRecorder, attaching them does
+        #: NOT disable parking or cycle skipping -- skip jumps are traced.
+        self.tracer = None
+        self.phase_ns: Optional[Dict[str, int]] = None
         self.cycle = 0
         #: Cells that may have work, in the order they became active, with a
         #: sweep-stamp array as the membership test (_cell_stamp[cc] ==
@@ -159,6 +168,24 @@ class Simulator:
         """
         self.stats.enable_link_accounting(self.link_table.num_links)
 
+    def attach_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.obs.Tracer` for structured trace events.
+
+        Observer-only: the tracer sees cycle-skip jumps and (through the
+        NoC kernels) vector-mode switches, and phase timers are enabled so
+        run spans can report where the time went.  The deterministic
+        schedule is untouched -- parking and cycle skipping stay on.
+        """
+        self.tracer = tracer
+        self.noc.tracer = tracer
+        if self.phase_ns is None:
+            self.enable_phase_timers()
+
+    def enable_phase_timers(self) -> None:
+        """Accumulate wall nanoseconds per step() phase in ``phase_ns``."""
+        self.phase_ns = {"io": 0, "noc": 0, "dispatch": 0, "cells": 0,
+                         "account": 0}
+
     # ------------------------------------------------------------------
     # Injection helpers (used by the runtime for host-driven setup)
     # ------------------------------------------------------------------
@@ -229,6 +256,14 @@ class Simulator:
         if parked_this_cycle:
             did_work = True
 
+        # Phase timers (observability): when enabled, wall time between
+        # checkpoints accrues per phase.  ``timers`` is None on the default
+        # path, costing one load and branch per phase per cycle.
+        timers = self.phase_ns
+        if timers is not None:
+            _pc = time.perf_counter_ns
+            _t = _pc()
+
         # 1. IO cells read one item each and create action messages.  The
         # batch enters the NoC through inject_many so vectorised kernels can
         # bucket a whole injection wave with one set of array ops.
@@ -240,11 +275,19 @@ class Simulator:
                 noc.inject(io_msgs[0], cycle)
             else:
                 noc.inject_many(io_msgs, cycle)
+        if timers is not None:
+            _now = _pc()
+            timers["io"] += _now - _t
+            _t = _now
 
         # 2. NoC advances in-flight messages by one hop.
         delivered = noc.advance(cycle)
         if delivered:
             did_work = True
+        if timers is not None:
+            _now = _pc()
+            timers["noc"] += _now - _t
+            _t = _now
         # Hoisted for the cell loop only after the advance: an adaptive
         # kernel may swap its inject implementation during advance.
         noc_inject = noc.inject
@@ -274,6 +317,10 @@ class Simulator:
                 if not parked[dst] and cell_stamp[dst] != sweep:
                     cell_stamp[dst] = sweep
                     active_cells.append(dst)
+        if timers is not None:
+            _now = _pc()
+            timers["dispatch"] += _now - _t
+            _t = _now
 
         # 4. Every cell with work performs one operation, in activation
         # order.  The scratch buffers are reused so steady-state cycles
@@ -359,6 +406,10 @@ class Simulator:
         self._active_cells, self._still_active_scratch = (
             still_active, self._active_cells,
         )
+        if timers is not None:
+            _now = _pc()
+            timers["cells"] += _now - _t
+            _t = _now
 
         # 5. Record statistics and traces; run hooks.  Parked cells execute
         # one (virtual) instruction per parked cycle, so they count as
@@ -375,6 +426,8 @@ class Simulator:
             self.trace.maybe_record(cycle, active_this_cycle)
         for hook in self._cycle_hooks:
             hook(cycle)
+        if timers is not None:
+            timers["account"] += _pc() - _t
 
         self.cycle += 1
         return did_work
@@ -461,6 +514,10 @@ class Simulator:
         span = target - cycle
         if span <= 0:
             return
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant("cycle_skip", cat="sim", from_cycle=cycle,
+                           to_cycle=target, span=span, in_flight=in_flight)
         if in_flight:
             noc.fast_forward(span)
         stats = self.stats

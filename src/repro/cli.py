@@ -48,6 +48,13 @@ Track simulator throughput with a machine-readable report::
 
     repro bench --json BENCH_local.json
     repro bench --baseline benchmarks/BENCH_baseline.json --tolerance 0.25
+
+Observe runs without perturbing them (see docs/observability.md)::
+
+    repro suite run --preset paper-tiny --trace results/suite-trace.json
+    repro suite run --preset paper-tiny --metrics-out results/metrics.prom
+    repro bench --trace results/bench-trace.json --profile results/bench.folded
+    repro metrics --store results/suite.jsonl --format prometheus
 """
 
 from __future__ import annotations
@@ -56,6 +63,7 @@ import argparse
 import json
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.experiments import run_ingestion_bfs_pair, run_streaming_experiment
@@ -159,10 +167,24 @@ def cmd_suite_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_metrics(registry, path: str) -> None:
+    """Write a metrics registry: Prometheus text unless the path ends .json."""
+    out = Path(path)
+    if out.parent != Path(""):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    if out.suffix == ".json":
+        out.write_text(json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+                       + "\n", encoding="utf-8")
+    else:
+        out.write_text(registry.to_prometheus(), encoding="utf-8")
+
+
 def cmd_suite_run(args: argparse.Namespace) -> int:
+    import contextlib
     from dataclasses import replace
 
     from repro.harness import ResultStore, get_suite, render_suite_report, run_suite
+    from repro.obs import MetricsRegistry, Tracer, profile_to_collapsed
 
     try:
         scenarios = get_suite(args.preset)
@@ -188,18 +210,37 @@ def cmd_suite_run(args: argparse.Namespace) -> int:
             for s in scenarios
         ]
     jobs = 1 if args.serial else args.jobs
-    report = run_suite(
-        scenarios,
-        jobs=jobs,
-        store=store,
-        force=args.force,
-        progress=lambda line: print(line, flush=True),
-        shard_increments=args.shard_increments,
-        timeout=args.timeout,
-        expect_cached=args.expect_cached,
-        kernel=args.kernel,
-        pipeline=args.pipeline,
-    )
+    # Observability is observer-only (records and caches are unaffected):
+    # the harness tracer/metrics watch the suite itself, and --trace also
+    # derives one per-scenario trace file next to the harness one.
+    tracer = Tracer(process_name=f"repro:suite:{args.preset}") if args.trace else None
+    metrics = MetricsRegistry() if (args.metrics_out or args.trace) else None
+    profiler = (profile_to_collapsed(args.profile) if args.profile
+                else contextlib.nullcontext())
+    with profiler:
+        report = run_suite(
+            scenarios,
+            jobs=jobs,
+            store=store,
+            force=args.force,
+            progress=lambda line: print(line, flush=True),
+            shard_increments=args.shard_increments,
+            timeout=args.timeout,
+            expect_cached=args.expect_cached,
+            kernel=args.kernel,
+            pipeline=args.pipeline,
+            tracer=tracer,
+            metrics=metrics,
+            trace_base=args.trace,
+        )
+    if tracer is not None:
+        print(f"harness trace: {tracer.save(args.trace)} "
+              f"({len(tracer.events)} events)")
+    if args.metrics_out:
+        _write_metrics(metrics, args.metrics_out)
+        print(f"metrics: {args.metrics_out}")
+    if args.profile:
+        print(f"profile (collapsed stacks): {args.profile}")
     print(
         f"\nsuite {args.preset!r}: {len(report.outcomes)} scenarios, "
         f"{report.cache_hits} cache hits, {report.cache_misses} computed "
@@ -448,6 +489,8 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    import contextlib
+
     from repro.harness import get_suite
     from repro.harness.bench import (
         bench_payload,
@@ -457,6 +500,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         update_baseline,
         write_bench,
     )
+    from repro.obs import profile_to_collapsed
 
     if args.update_baseline:
         try:
@@ -474,9 +518,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
-    results = run_bench(scenarios, reps=args.reps,
-                        progress=lambda line: print(line, flush=True),
-                        kernel=args.kernel)
+    # --profile wraps the whole bench (its numbers describe the profiled
+    # process, so do not compare them against an unprofiled baseline);
+    # --trace adds one extra *untimed* traced rep per workload, keeping
+    # the timed medians free of instrumentation overhead.
+    profiler = (profile_to_collapsed(args.profile) if args.profile
+                else contextlib.nullcontext())
+    with profiler:
+        results = run_bench(scenarios, reps=args.reps,
+                            progress=lambda line: print(line, flush=True),
+                            kernel=args.kernel, trace_path=args.trace)
+    if args.profile:
+        print(f"profile (collapsed stacks): {args.profile}")
     from repro.analysis.tables import render_table
     print()
     print(render_table([
@@ -513,6 +566,58 @@ def cmd_bench(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     print("\nbench comparison passed")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.harness import ResultStore, get_suite
+    from repro.obs import MetricsRegistry
+
+    if not _require_store_paths(args.store):
+        return 2
+    try:
+        store = ResultStore(args.store)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.preset:
+        try:
+            scenarios = get_suite(args.preset)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        records = [r for s in scenarios
+                   if (r := store.get(s.spec_hash())) is not None]
+    else:
+        records = store.records()
+    registry = MetricsRegistry()
+    skipped = 0
+    for record in records:
+        snapshot = record.get("metrics")
+        if not snapshot:
+            skipped += 1  # pre-1.3.0 record: no embedded metrics
+            continue
+        registry.merge_snapshot(
+            snapshot, {"scenario": record.get("name", "?")})
+    if skipped:
+        print(f"note: {skipped} record(s) predate embedded metrics "
+              "(repro < 1.3.0) and were skipped", file=sys.stderr)
+    if not registry.metrics():
+        print("no metrics found in stored records", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        text = json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n"
+    else:
+        text = registry.to_prometheus()
+    if args.out:
+        out = Path(args.out)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text, encoding="utf-8")
+        print(f"wrote {args.out} ({len(registry.metrics())} metric families "
+              f"from {len(records) - skipped} record(s))")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -613,6 +718,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pin the NoC kernel for every scenario (speed "
                             "knob only: schedules and cache keys are "
                             "identical across kernels)")
+    p_run.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a Chrome trace-event JSON of the harness "
+                            "here, plus PATH-<scenario>.json per computed "
+                            "scenario (observer-only: records are unchanged)")
+    p_run.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write harness metrics (Prometheus text, or JSON "
+                            "when PATH ends in .json)")
+    p_run.add_argument("--profile", default=None, metavar="PATH",
+                       help="cProfile the whole run and write collapsed "
+                            "stacks here (flamegraph.pl-compatible; also "
+                            "writes PATH.pstats)")
     _add_report_args(p_run)
     p_run.set_defaults(func=cmd_suite_run)
 
@@ -739,7 +855,34 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="PATH",
                          help="where --update-baseline writes "
                               "(default: benchmarks/BENCH_baseline.json)")
+    p_bench.add_argument("--trace", default=None, metavar="PATH",
+                         help="after the timed reps, run one extra untimed "
+                              "traced rep per workload, writing "
+                              "PATH-<workload>.json (timed medians stay "
+                              "instrumentation-free)")
+    p_bench.add_argument("--profile", default=None, metavar="PATH",
+                         help="cProfile the bench and write collapsed stacks "
+                              "here (profiled numbers are not comparable to "
+                              "an unprofiled baseline)")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="aggregate the metrics embedded in stored records "
+             "(JSON or Prometheus text)",
+    )
+    p_metrics.add_argument("--store", default="results/suite.jsonl",
+                           help="JSONL result store path "
+                                "(default: results/suite.jsonl)")
+    p_metrics.add_argument("--preset", default=None,
+                           help="restrict to one suite's scenarios "
+                                "(default: every stored record)")
+    p_metrics.add_argument("--format", choices=("json", "prometheus"),
+                           default="json",
+                           help="output format (default: json)")
+    p_metrics.add_argument("--out", default=None, metavar="PATH",
+                           help="write here instead of stdout")
+    p_metrics.set_defaults(func=cmd_metrics)
 
     return parser
 

@@ -18,6 +18,11 @@ The harness is the one place the repository fans experiments out:
 * :mod:`repro.harness.bench` — the ``repro bench`` cycles/sec pipeline
   emitting schema-versioned ``BENCH_<tag>.json`` reports.
 
+Runs can be observed without being perturbed: :mod:`repro.obs` tracers
+and metric registries attach to the runner, pool and store as pure
+observers (see docs/observability.md), and every record embeds a
+deterministic ``metrics`` snapshot derived from :class:`SimStats`.
+
 Typical use (also available as ``repro suite run``)::
 
     from repro.harness import ResultStore, get_suite, run_suite
@@ -66,6 +71,7 @@ from repro.harness.runner import (
     resume_scenario,
     run_scenario,
     run_scenario_sharded,
+    run_scenario_traced,
     run_suite,
     shard_spans,
     snapshot_at,
@@ -124,6 +130,7 @@ __all__ = [
     "run_bench",
     "run_scenario",
     "run_scenario_sharded",
+    "run_scenario_traced",
     "run_suite",
     "shard_spans",
     "shutdown_pool",

@@ -32,13 +32,14 @@ from __future__ import annotations
 import json
 import platform
 import statistics
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro import __version__
 from repro.harness.runner import run_scenario
 from repro.harness.scenario import Scenario
+from repro.obs import derive_trace_path
 
 #: Schema identifier stamped into (and required from) every bench JSON.
 BENCH_SCHEMA = "repro-bench/v1"
@@ -77,12 +78,17 @@ def run_bench(
     reps: int = DEFAULT_REPS,
     progress: Optional[Callable[[str], None]] = None,
     kernel: Optional[str] = None,
+    trace_path: Optional[str] = None,
 ) -> List[WorkloadResult]:
     """Benchmark each scenario ``reps`` times in interleaved order.
 
     ``kernel`` pins the NoC kernel for every workload (the point of
     benching both: kernels are schedule-identical, so any cycles/sec delta
-    is pure implementation speed).
+    is pure implementation speed).  ``trace_path`` runs **one extra,
+    untimed** traced repetition per workload after the timed ones — the
+    timed medians stay honest (no instrumentation overhead in them), the
+    trace shows where the time went, and the traced rep's cycle count is
+    checked against the timed reps' as a live observer-only assertion.
     """
     if reps < 1:
         raise ValueError("reps must be >= 1")
@@ -109,6 +115,19 @@ def run_bench(
             current.sim_wall_s.append(timings["sim_s"])
             say(f"[rep {rep + 1}/{reps}] {scenario.name}: "
                 f"{cycles / timings['sim_s']:,.0f} cycles/sec")
+    if trace_path is not None:
+        for scenario in scenarios:
+            path = derive_trace_path(trace_path, scenario.name)
+            traced = scenario.with_(options=replace(scenario.options,
+                                                    trace_path=path))
+            record = run_scenario(traced, kernel=kernel)
+            if record["total_cycles"] != results[scenario.name].total_cycles:
+                raise RuntimeError(
+                    f"traced rep of {scenario.name!r} diverged: "
+                    f"{record['total_cycles']} vs "
+                    f"{results[scenario.name].total_cycles} cycles — "
+                    "instrumentation broke the observer-only contract")
+            say(f"[trace    ] {scenario.name}: {path}")
     return [results[s.name] for s in scenarios if s.name in results]
 
 

@@ -120,6 +120,8 @@ class _InFlight:
     task_id: int
     started: float
     deadline: Optional[float]
+    pid: int = 0
+    start_ns: int = 0  # tracer-clock dispatch time (observability only)
 
 
 class WorkerPool:
@@ -137,6 +139,12 @@ class WorkerPool:
         self._ctx = context or multiprocessing.get_context()
         self._workers: List[_Worker] = [_Worker(self._ctx) for _ in range(workers)]
         self._closed = False
+        #: Observability (repro.obs), attached by run_suite for the span of
+        #: one suite.  Parent-side only: task spans measure dispatch→result
+        #: on the parent clock (tid = worker pid), so nothing crosses the
+        #: process boundary and worker payloads stay untouched.
+        self.tracer = None
+        self.metrics = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -187,10 +195,30 @@ class WorkerPool:
         idle = deque(self._workers)
         busy: Dict[_Worker, _InFlight] = {}
 
+        tracer = self.tracer
+        metrics = self.metrics
+        named_pids: set = set()
+        tasks_total = task_seconds = queue_depth = None
+        if metrics is not None:
+            tasks_total = metrics.counter(
+                "pool_tasks_total", "Pool tasks by outcome", ("status",))
+            task_seconds = metrics.histogram(
+                "pool_task_seconds", "Pool task wall time (dispatch→result)")
+            queue_depth = metrics.gauge(
+                "pool_queue_depth", "Tasks not yet dispatched")
+
         def finish(worker: _Worker, result: TaskResult) -> None:
             flight = busy.pop(worker)
             result.elapsed_s = time.monotonic() - flight.started
             results[flight.task_id] = result
+            if tracer is not None:
+                tracer.complete(
+                    "pool_task", "pool", start_ns=flight.start_ns,
+                    dur_ns=tracer.now_ns() - flight.start_ns, tid=flight.pid,
+                    task_id=flight.task_id, status=result.status)
+            if metrics is not None:
+                tasks_total.inc(status=result.status)
+                task_seconds.observe(result.elapsed_s)
             if on_result is not None:
                 on_result(flight.task_id, result)
 
@@ -213,11 +241,19 @@ class WorkerPool:
                     pending.appendleft(task_id)
                     self._replace(worker, idle)
                     continue
+                pid = worker.process.pid or 0
+                if tracer is not None and pid not in named_pids:
+                    named_pids.add(pid)
+                    tracer.thread_name(pid, f"worker-{pid}")
                 busy[worker] = _InFlight(
                     task_id=task_id,
                     started=now,
                     deadline=(now + timeout) if timeout is not None else None,
+                    pid=pid,
+                    start_ns=tracer.now_ns() if tracer is not None else 0,
                 )
+                if queue_depth is not None:
+                    queue_depth.set(len(pending))
 
             deadlines = [f.deadline for f in busy.values() if f.deadline is not None]
             poll = None
@@ -247,6 +283,10 @@ class WorkerPool:
             now = time.monotonic()
             for worker in [w for w, f in busy.items()
                            if f.deadline is not None and f.deadline <= now]:
+                if tracer is not None:
+                    tracer.instant("task_timeout", "pool",
+                                   tid=busy[worker].pid,
+                                   task_id=busy[worker].task_id)
                 finish(worker, TaskResult(status="timeout"))
                 self._replace(worker, idle)
 
@@ -254,11 +294,19 @@ class WorkerPool:
 
     def _replace(self, worker: _Worker, idle: deque) -> None:
         """Kill a worker and put a fresh replacement into the idle set."""
+        old_pid = worker.process.pid or 0
         worker.kill()
         self._workers.remove(worker)
         replacement = _Worker(self._ctx)
         self._workers.append(replacement)
         idle.append(replacement)
+        if self.tracer is not None:
+            self.tracer.instant("worker_respawn", "pool", tid=old_pid,
+                                new_pid=replacement.process.pid or 0)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "pool_respawns_total",
+                "Workers killed and replaced (timeout or crash)").inc()
 
     # ------------------------------------------------------------------
     # Lifecycle

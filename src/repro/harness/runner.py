@@ -46,7 +46,7 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import __version__
@@ -64,6 +64,7 @@ from repro.graph.rpvo import Edge
 from repro.harness.pool import TaskResult, WorkerPool, get_pool
 from repro.harness.scenario import DatasetSpec, RunOptions, Scenario
 from repro.harness.store import ResultStore
+from repro.obs import MetricsRegistry, Tracer, derive_trace_path, record_metrics
 from repro.runtime.device import AMCCADevice
 
 
@@ -142,19 +143,22 @@ def _materialize(
     kernel: Optional[str] = None,
     *,
     seed_algorithm: bool = True,
+    frames_every: int = 0,
 ) -> Tuple[StreamingDataset, AMCCADevice, DynamicGraph, Any]:
     """Build the dataset + device + graph + algorithm a scenario describes.
 
     ``seed_algorithm=False`` skips the algorithm's host-side seeding (e.g.
     BFS's root injection): a snapshot restore overlays the seeded state, so
-    re-seeding would double-inject.
+    re-seeding would double-inject.  ``frames_every`` enables the device's
+    activity-frame recorder (:class:`~repro.arch.trace.TraceRecorder`) at
+    that cadence — a visualisation knob with no effect on the record.
     """
     opts: RunOptions = scenario.options
     dataset = materialize_dataset(scenario.dataset)
     chip = scenario.chip.to_chip_config()
     if kernel is not None:
         chip = chip.with_(kernel=kernel)
-    device = AMCCADevice(chip)
+    device = AMCCADevice(chip, trace_every=frames_every)
     graph = DynamicGraph(
         device,
         dataset.num_vertices,
@@ -193,6 +197,10 @@ def _final_payload(
         "query_cycles": query_cycles,
         "energy": energy.as_dict(),
         "stats": stats.summary(),
+        # Deterministic metrics snapshot (repro.obs): derived from SimStats
+        # only, computed *unconditionally* — every record carries it, so
+        # instrumented and plain runs stay byte-identical.
+        "metrics": record_metrics(stats),
         "edges_stored": graph.total_edges_stored(),
         "ghost_blocks": ghosts["ghost_blocks"],
         "algo_metrics": _algorithm_metrics(scenario.algorithm, algorithm, graph),
@@ -207,15 +215,21 @@ def _snapshot_path(directory: str, scenario: Scenario, increment: int) -> str:
 
 
 def _save_checkpoint(graph: DynamicGraph, scenario: Scenario,
-                     increment: int, path: str) -> None:
+                     increment: int, path: str,
+                     tracer: Optional[Tracer] = None) -> None:
     """Capture + atomically save one increment-boundary checkpoint."""
+    from contextlib import nullcontext
+
     from repro.snapshot import capture
 
-    capture(graph, extra_meta={
-        "spec_hash": scenario.spec_hash(),
-        "scenario": scenario.name,
-        "increment": increment,
-    }).save(path)
+    span = (tracer.span("snapshot_capture", "snapshot", increment=increment)
+            if tracer is not None else nullcontext())
+    with span:
+        capture(graph, extra_meta={
+            "spec_hash": scenario.spec_hash(),
+            "scenario": scenario.name,
+            "increment": increment,
+        }).save(path)
 
 
 # ----------------------------------------------------------------------
@@ -230,6 +244,9 @@ def _execute_span(
     kernel: Optional[str] = None,
     snapshot_every: int = 0,
     snapshot_dir: Optional[str] = None,
+    trace_path: Optional[str] = None,
+    frames_every: int = 0,
+    env_out: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Run increments ``[0, stop)``, measuring only ``[start, stop)``.
 
@@ -244,11 +261,24 @@ def _execute_span(
     overrides the scenario's NoC kernel pin (a speed knob only: records
     are bit-identical across kernels).  ``snapshot_every``/``snapshot_dir``
     checkpoint the run at every Nth increment boundary (resumable runs);
-    checkpoints never change the payload either.
+    checkpoints never change the payload either.  ``trace_path`` attaches a
+    :class:`repro.obs.Tracer` to the device and writes the Chrome trace
+    JSON there at the end — observer-only, so the payload is byte-identical
+    with or without it.  ``frames_every`` enables activity-frame capture;
+    ``env_out``, when given, receives the live ``dataset``/``device``/
+    ``graph``/``algorithm`` for callers that want to inspect them after the
+    run (e.g. :func:`run_scenario_traced`).
     """
     t0 = time.perf_counter()
     opts: RunOptions = scenario.options
-    dataset, device, graph, algorithm = _materialize(scenario, kernel)
+    dataset, device, graph, algorithm = _materialize(
+        scenario, kernel, frames_every=frames_every)
+    tracer = None
+    if trace_path is not None or env_out is not None:
+        # env_out implies an instrumented caller (run_scenario_traced):
+        # attach the tracer (and phase timers) even with no file to write.
+        tracer = Tracer(process_name=f"repro:{scenario.name}")
+        device.attach_tracer(tracer)
     t1 = time.perf_counter()
 
     total = len(dataset.increments)
@@ -269,7 +299,8 @@ def _execute_span(
             measured.append(result.cycles)
         if snapshot_every > 0 and snapshot_dir and i % snapshot_every == 0:
             _save_checkpoint(graph, scenario, i,
-                             _snapshot_path(snapshot_dir, scenario, i))
+                             _snapshot_path(snapshot_dir, scenario, i),
+                             tracer)
 
     part: Dict[str, Any] = {
         "spec_hash": scenario.spec_hash(),
@@ -286,6 +317,11 @@ def _execute_span(
     if timings is not None:
         timings["setup_s"] = t1 - t0
         timings["sim_s"] = time.perf_counter() - t1
+    if tracer is not None and trace_path is not None:
+        tracer.save(trace_path)
+    if env_out is not None:
+        env_out.update(dataset=dataset, device=device, graph=graph,
+                       algorithm=algorithm)
     return part
 
 
@@ -306,6 +342,7 @@ def _assemble_record(
         "total_cycles": sum(increment_cycles) + final["query_cycles"],
         "energy": final["energy"],
         "stats": final["stats"],
+        "metrics": final["metrics"],
         "edges_stored": final["edges_stored"],
         "ghost_blocks": final["ghost_blocks"],
         "algo_metrics": final["algo_metrics"],
@@ -323,8 +360,31 @@ def run_scenario(
     opts = scenario.options
     part = _execute_span(scenario, 0, None, True, timings, kernel,
                          snapshot_every=opts.snapshot_every,
-                         snapshot_dir=opts.snapshot_dir)
+                         snapshot_dir=opts.snapshot_dir,
+                         trace_path=opts.trace_path)
     return _assemble_record(scenario, part["increment_cycles"], part["final"])
+
+
+def run_scenario_traced(
+    scenario: Scenario, *, frames_every: int = 0,
+    kernel: Optional[str] = None, trace_path: Optional[str] = None,
+) -> Tuple[Dict[str, Any], AMCCADevice]:
+    """Run one scenario instrumented, returning ``(record, device)``.
+
+    The thin harness wrapper behind ``examples/chip_animation.py`` and any
+    caller that wants the live device after the run (activity frames,
+    phase timers, per-cell occupancy).  ``frames_every > 0`` captures an
+    activity frame every that many cycles; ``trace_path`` additionally
+    writes a Chrome trace of the run.  The record is byte-identical to
+    :func:`run_scenario`'s — instrumentation is observer-only.
+    """
+    env: Dict[str, Any] = {}
+    part = _execute_span(scenario, 0, None, True, kernel=kernel,
+                         trace_path=trace_path, frames_every=frames_every,
+                         env_out=env)
+    record = _assemble_record(scenario, part["increment_cycles"],
+                              part["final"])
+    return record, env["device"]
 
 
 # ----------------------------------------------------------------------
@@ -420,34 +480,56 @@ def shard_spans(num_increments: int, shards: int) -> List[Tuple[int, int]]:
     return [(a, b) for a, b in zip(bounds, bounds[1:]) if b > a]
 
 
+def _unpack_run_opts(
+    snap_opts,
+) -> Tuple[int, Optional[str], Optional[str]]:
+    """``(snapshot_every, snapshot_dir, trace_path)`` from a task's knobs.
+
+    The identity-free run options cross the process boundary as one tuple
+    alongside the (stripped) spec.  Older 2-tuples — persisted task args,
+    external callers — are accepted with no trace path.
+    """
+    if snap_opts is None:
+        return 0, None, None
+    if len(snap_opts) == 2:
+        return snap_opts[0], snap_opts[1], None
+    return snap_opts
+
+
 def _span_task(spec: Dict[str, Any], start: int, stop: int,
                want_final: bool, kernel: Optional[str] = None,
-               snap_opts: Tuple[int, Optional[str]] = (0, None)) -> Dict[str, Any]:
+               snap_opts: Tuple = (0, None, None)) -> Dict[str, Any]:
     """Pool task: one shard of one scenario (module-level, picklable).
 
     ``kernel`` and ``snap_opts`` ride alongside the spec because
     :meth:`Scenario.spec_dict` deliberately strips the identity-free
-    kernel pin and ``snapshot_every``/``snapshot_dir`` run options.
+    kernel pin and the ``snapshot_every``/``snapshot_dir``/``trace_path``
+    run options.  A shard's trace goes to a per-span filename derived from
+    the scenario's trace path, so parallel shards never share a file.
     """
-    every, directory = snap_opts
-    return _execute_span(Scenario.from_dict(spec), start, stop, want_final,
+    every, directory, trace = _unpack_run_opts(snap_opts)
+    scenario = Scenario.from_dict(spec)
+    if trace is not None:
+        trace = derive_trace_path(trace, f"span{start}-{stop}")
+    return _execute_span(scenario, start, stop, want_final,
                          kernel=kernel, snapshot_every=every,
-                         snapshot_dir=directory)
+                         snapshot_dir=directory, trace_path=trace)
 
 
 def _scenario_task(spec: Dict[str, Any],
                    kernel: Optional[str] = None,
-                   snap_opts: Optional[Tuple[int, str]] = None) -> Dict[str, Any]:
+                   snap_opts: Optional[Tuple] = None) -> Dict[str, Any]:
     """Pool task: one whole scenario (module-level, picklable).
 
     ``snap_opts`` re-threads the (identity-free, spec-stripped)
-    ``snapshot_every``/``snapshot_dir`` run options across the process
-    boundary, like ``kernel`` does for the kernel pin.
+    ``snapshot_every``/``snapshot_dir``/``trace_path`` run options across
+    the process boundary, like ``kernel`` does for the kernel pin.
     """
-    every, directory = snap_opts if snap_opts is not None else (0, None)
+    every, directory, trace = _unpack_run_opts(snap_opts)
     scenario = Scenario.from_dict(spec)
     part = _execute_span(scenario, 0, None, True, kernel=kernel,
-                         snapshot_every=every, snapshot_dir=directory)
+                         snapshot_every=every, snapshot_dir=directory,
+                         trace_path=trace)
     return _assemble_record(scenario, part["increment_cycles"], part["final"])
 
 
@@ -486,7 +568,7 @@ def _run_pipeline_span(
     want_final: bool,
     kernel: Optional[str],
     checkpoint,
-    snap_opts: Tuple[int, Optional[str]] = (0, None),
+    snap_opts: Tuple = (0, None, None),
 ) -> Tuple[Dict[str, Any], Any]:
     """The pipeline-shard core shared by the pooled and in-process paths.
 
@@ -506,7 +588,12 @@ def _run_pipeline_span(
         dataset, device, graph, algorithm = restore_scenario(
             scenario, checkpoint, kernel=kernel)
     opts = scenario.options
-    every, directory = snap_opts
+    every, directory, trace = _unpack_run_opts(snap_opts)
+    tracer = None
+    if trace is not None:
+        trace = derive_trace_path(trace, f"span{start}-{stop}")
+        tracer = Tracer(process_name=f"repro:{scenario.name}")
+        device.attach_tracer(tracer)
     measured: List[int] = []
     for i in range(start, stop):
         result = graph.stream_increment(
@@ -517,7 +604,8 @@ def _run_pipeline_span(
         measured.append(result.cycles)
         if every > 0 and directory and (i + 1) % every == 0:
             _save_checkpoint(graph, scenario, i + 1,
-                             _snapshot_path(directory, scenario, i + 1))
+                             _snapshot_path(directory, scenario, i + 1),
+                             tracer)
     part: Dict[str, Any] = {
         "spec_hash": scenario.spec_hash(),
         "span": [start, stop],
@@ -529,11 +617,21 @@ def _run_pipeline_span(
         part["final"] = _final_payload(scenario, dataset, device, graph,
                                        algorithm)
     else:
-        boundary = capture(graph, extra_meta={
-            "spec_hash": scenario.spec_hash(),
-            "scenario": scenario.name,
-            "increment": stop,
-        })
+        if tracer is not None:
+            with tracer.span("snapshot_capture", "snapshot", increment=stop):
+                boundary = capture(graph, extra_meta={
+                    "spec_hash": scenario.spec_hash(),
+                    "scenario": scenario.name,
+                    "increment": stop,
+                })
+        else:
+            boundary = capture(graph, extra_meta={
+                "spec_hash": scenario.spec_hash(),
+                "scenario": scenario.name,
+                "increment": stop,
+            })
+    if tracer is not None:
+        tracer.save(trace)
     return part, boundary
 
 
@@ -546,7 +644,7 @@ def _pipeline_span_task(
     snap_in: Optional[str],
     snap_out: Optional[str],
     wait_s: float = PIPELINE_WAIT_S,
-    snap_opts: Tuple[int, Optional[str]] = (0, None),
+    snap_opts: Tuple = (0, None, None),
 ) -> Dict[str, Any]:
     """Pool task: one *pipeline* shard — starts from a checkpoint, never
     replays.
@@ -654,7 +752,7 @@ def run_scenario_sharded(
     spec = scenario.spec_dict()
     effective = kernel if kernel is not None else scenario.chip.kernel
     opts = scenario.options
-    snap_opts = (opts.snapshot_every, opts.snapshot_dir)
+    snap_opts = (opts.snapshot_every, opts.snapshot_dir, opts.trace_path)
     last = spans[-1][1]
     if pool is None:
         if pipeline:
@@ -730,7 +828,7 @@ def _pipeline_inprocess(
     from repro.snapshot import Snapshot
 
     opts = scenario.options
-    snap_opts = (opts.snapshot_every, opts.snapshot_dir)
+    snap_opts = (opts.snapshot_every, opts.snapshot_dir, opts.trace_path)
     last = spans[-1][1]
     parts: List[Dict[str, Any]] = []
     checkpoint = None
@@ -812,6 +910,9 @@ def run_suite(
     pool: Optional[WorkerPool] = None,
     kernel: Optional[str] = None,
     pipeline: bool = False,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    trace_base: Optional[str] = None,
 ) -> SuiteReport:
     """Run a suite of scenarios, consulting and filling the result store.
 
@@ -855,80 +956,145 @@ def run_suite(
         shard K starts from the snapshot emitted at boundary K·span, so no
         increment is ever simulated twice.  Stores stay byte-identical to
         serial runs.
+    tracer:
+        Optional :class:`repro.obs.Tracer` observing the harness side of
+        the run: cache hits/outcomes, pool task spans, store writes.  The
+        caller owns saving it.  Observer-only by contract — attaching it
+        never changes a record byte.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry` accumulating runtime
+        metrics (suite outcomes, pool task latency/timeouts, store
+        rewrites).  These are wall-clock/operational values and are never
+        embedded in records (records carry their own deterministic
+        ``metrics`` key, always).
+    trace_base:
+        Base path for per-scenario simulator traces: each freshly computed
+        scenario writes a Chrome trace to
+        ``derive_trace_path(trace_base, name)`` (per-span files when
+        sharded).  Works with every execution mode, including pooled
+        workers.
     """
     say = progress or (lambda _msg: None)
     started = time.perf_counter()
     report = SuiteReport(jobs=jobs)
 
-    hashes = [s.spec_hash() for s in scenarios]
-    pending: List[int] = []  # indices into `scenarios` that must actually run
-    slots: List[Optional[ScenarioOutcome]] = [None] * len(scenarios)
-    seen_this_run: Dict[str, int] = {}
-    for i, (scenario, spec_hash) in enumerate(zip(scenarios, hashes)):
-        cached = store.get(spec_hash) if (store is not None and not force) else None
-        if cached is not None:
-            slots[i] = ScenarioOutcome(scenario, cached, cached=True)
-            say(f"[cache hit ] {scenario.name}")
-        elif spec_hash in seen_this_run:
-            # Duplicate spec inside one suite: run once, reuse the record.
-            pass
-        else:
-            seen_this_run[spec_hash] = i
-            pending.append(i)
+    if trace_base is not None:
+        # trace_path is identity-free (stripped from spec_dict), so this
+        # rewrite changes no spec hash and no cache decision.
+        scenarios = [
+            s.with_(options=replace(
+                s.options,
+                trace_path=derive_trace_path(trace_base, s.name)))
+            for s in scenarios
+        ]
+    suite_start_ns = tracer.now_ns() if tracer is not None else 0
 
-    if pending and expect_cached:
-        for i in pending:
-            slots[i] = ScenarioOutcome(scenarios[i], None, cached=False,
-                                       status="uncached")
-            say(f"{_STATUS_TAGS['uncached']} {scenarios[i].name}")
-        pending = []
-
-    if pending:
-        workers = max(1, min(jobs, len(pending) * max(1, shard_increments)))
-        if workers > 1 or timeout is not None:
-            outcomes = _run_pending_pooled(
-                scenarios, pending, pool or get_pool(workers),
-                shard_increments=shard_increments, timeout=timeout,
-                max_workers=workers, kernel=kernel, pipeline=pipeline,
-            )
-        else:
-            # Serial in-process path.  Sharding still executes span-by-span
-            # (exercising the span/merge — and, with --pipeline, the
-            # capture/restore — path) so the flag never silently no-ops
-            # just because jobs defaulted to 1.
-            outcomes = []
-            for i in pending:
-                if shard_increments > 1:
-                    record = run_scenario_sharded(scenarios[i], shard_increments,
-                                                  kernel=kernel,
-                                                  pipeline=pipeline)
-                else:
-                    record = run_scenario(scenarios[i], kernel=kernel)
-                outcomes.append(
-                    ScenarioOutcome(scenarios[i], record, cached=False))
-        fresh_records = []
-        for i, outcome in zip(pending, outcomes):
-            slots[i] = outcome
-            if outcome.status == "ok":
-                say(f"[computed  ] {outcome.scenario.name}")
-                fresh_records.append(outcome.record)
+    observed_pool: Optional[WorkerPool] = None
+    if store is not None:
+        store.tracer = tracer
+        store.metrics = metrics
+    try:
+        hashes = [s.spec_hash() for s in scenarios]
+        pending: List[int] = []  # indices into `scenarios` that must actually run
+        slots: List[Optional[ScenarioOutcome]] = [None] * len(scenarios)
+        seen_this_run: Dict[str, int] = {}
+        for i, (scenario, spec_hash) in enumerate(zip(scenarios, hashes)):
+            cached = store.get(spec_hash) if (store is not None and not force) else None
+            if cached is not None:
+                slots[i] = ScenarioOutcome(scenario, cached, cached=True)
+                say(f"[cache hit ] {scenario.name}")
+                if tracer is not None:
+                    tracer.instant("cache_hit", "suite", scenario=scenario.name)
+            elif spec_hash in seen_this_run:
+                # Duplicate spec inside one suite: run once, reuse the record.
+                pass
             else:
-                say(f"{_STATUS_TAGS[outcome.status]} {outcome.scenario.name}")
-        if store is not None and fresh_records:
-            store.put_many(fresh_records)
+                seen_this_run[spec_hash] = i
+                pending.append(i)
 
-    # Fill outcomes for intra-suite duplicates from the scenario that ran.
-    by_hash = {hashes[i]: s for i, s in enumerate(slots) if s is not None}
-    for i, slot in enumerate(slots):
-        if slot is None:
-            twin = by_hash[hashes[i]]
-            slots[i] = ScenarioOutcome(
-                scenarios[i], twin.record, cached=twin.status == "ok",
-                status=twin.status, error=twin.error,
-            )
+        if pending and expect_cached:
+            for i in pending:
+                slots[i] = ScenarioOutcome(scenarios[i], None, cached=False,
+                                           status="uncached")
+                say(f"{_STATUS_TAGS['uncached']} {scenarios[i].name}")
+            pending = []
+
+        if pending:
+            workers = max(1, min(jobs, len(pending) * max(1, shard_increments)))
+            if workers > 1 or timeout is not None:
+                observed_pool = pool or get_pool(workers)
+                observed_pool.tracer = tracer
+                observed_pool.metrics = metrics
+                outcomes = _run_pending_pooled(
+                    scenarios, pending, observed_pool,
+                    shard_increments=shard_increments, timeout=timeout,
+                    max_workers=workers, kernel=kernel, pipeline=pipeline,
+                )
+            else:
+                # Serial in-process path.  Sharding still executes span-by-span
+                # (exercising the span/merge — and, with --pipeline, the
+                # capture/restore — path) so the flag never silently no-ops
+                # just because jobs defaulted to 1.
+                outcomes = []
+                for i in pending:
+                    if shard_increments > 1:
+                        record = run_scenario_sharded(scenarios[i], shard_increments,
+                                                      kernel=kernel,
+                                                      pipeline=pipeline)
+                    else:
+                        record = run_scenario(scenarios[i], kernel=kernel)
+                    outcomes.append(
+                        ScenarioOutcome(scenarios[i], record, cached=False))
+            fresh_records = []
+            for i, outcome in zip(pending, outcomes):
+                slots[i] = outcome
+                if outcome.status == "ok":
+                    say(f"[computed  ] {outcome.scenario.name}")
+                    fresh_records.append(outcome.record)
+                else:
+                    say(f"{_STATUS_TAGS[outcome.status]} {outcome.scenario.name}")
+                if tracer is not None:
+                    tracer.instant(f"scenario_{outcome.status}", "suite",
+                                   scenario=outcome.scenario.name)
+            if store is not None and fresh_records:
+                store.put_many(fresh_records)
+
+        # Fill outcomes for intra-suite duplicates from the scenario that ran.
+        by_hash = {hashes[i]: s for i, s in enumerate(slots) if s is not None}
+        for i, slot in enumerate(slots):
+            if slot is None:
+                twin = by_hash[hashes[i]]
+                slots[i] = ScenarioOutcome(
+                    scenarios[i], twin.record, cached=twin.status == "ok",
+                    status=twin.status, error=twin.error,
+                )
+    finally:
+        if store is not None:
+            store.tracer = None
+            store.metrics = None
+        if observed_pool is not None:
+            observed_pool.tracer = None
+            observed_pool.metrics = None
 
     report.outcomes = [s for s in slots if s is not None]
     report.elapsed_s = time.perf_counter() - started
+    if metrics is not None:
+        outcomes_total = metrics.counter(
+            "suite_scenarios_total", "Suite scenario outcomes by status",
+            ("status",))
+        for outcome in report.outcomes:
+            status = "cached" if outcome.cached and outcome.status == "ok" \
+                else outcome.status
+            outcomes_total.inc(status=status)
+        metrics.gauge("suite_elapsed_seconds",
+                      "Wall time of the last suite run").set(report.elapsed_s)
+    if tracer is not None:
+        tracer.complete(
+            "suite_run", "harness", start_ns=suite_start_ns,
+            dur_ns=tracer.now_ns() - suite_start_ns,
+            scenarios=len(scenarios), jobs=jobs,
+            cache_hits=report.cache_hits, cache_misses=report.cache_misses,
+            failures=len(report.failures))
     return report
 
 
@@ -964,7 +1130,7 @@ def _run_pending_pooled(
         spans = (shard_spans(scenario.dataset.num_increments, shard_increments)
                  if shard_increments > 1 else [])
         opts = scenario.options
-        snap_opts = (opts.snapshot_every, opts.snapshot_dir)
+        snap_opts = (opts.snapshot_every, opts.snapshot_dir, opts.trace_path)
         if len(spans) > 1:
             last = spans[-1][1]
             spec = scenario.spec_dict()

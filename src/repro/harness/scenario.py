@@ -106,10 +106,12 @@ class RunOptions:
 
     ``snapshot_every``/``snapshot_dir`` make long runs resumable: every N
     streamed increments the runner saves a :mod:`repro.snapshot` checkpoint
-    into ``snapshot_dir`` (``<scenario>-incNNNN.snap``).  Like the chip's
-    ``kernel`` pin they are **operational knobs, not experiment identity**:
-    a checkpointed run produces the bit-identical record of an
-    uncheckpointed one, so both fields are stripped from
+    into ``snapshot_dir`` (``<scenario>-incNNNN.snap``).  ``trace_path``
+    writes a Chrome trace-event JSON of the run (see :mod:`repro.obs`).
+    Like the chip's ``kernel`` pin they are **operational knobs, not
+    experiment identity**: a checkpointed or traced run produces the
+    bit-identical record of a plain one (tracing is observer-only by
+    contract), so all three fields are stripped from
     :meth:`Scenario.spec_dict` (and therefore from spec hashes, graph seeds
     and stored records).
     """
@@ -120,6 +122,7 @@ class RunOptions:
     max_cycles_per_increment: Optional[int] = None
     snapshot_every: int = 0
     snapshot_dir: Optional[str] = None
+    trace_path: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -156,6 +159,7 @@ class Scenario:
         data["chip"].pop("kernel", None)
         data["options"].pop("snapshot_every", None)
         data["options"].pop("snapshot_dir", None)
+        data["options"].pop("trace_path", None)
         return data
 
     @classmethod

@@ -67,6 +67,11 @@ class ResultStore:
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = Path(path)
         self._records: Dict[str, Record] = {}
+        #: Observability (repro.obs), attached by run_suite / the CLI for
+        #: the span of one operation.  Observer-only: spans cover rewrites,
+        #: counters count them; the bytes written never change.
+        self.tracer = None
+        self.metrics = None
         if self.path.exists():
             self._load()
 
@@ -102,7 +107,12 @@ class ResultStore:
 
     def get(self, spec_hash: str) -> Optional[Record]:
         """The stored record for a scenario hash, or None on a cache miss."""
-        return self._records.get(spec_hash)
+        record = self._records.get(spec_hash)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "store_lookups_total", "Store cache lookups", ("result",),
+            ).inc(result="hit" if record is not None else "miss")
+        return record
 
     def records(self) -> List[Record]:
         """All stored records, in insertion order."""
@@ -150,8 +160,18 @@ class ResultStore:
                 raise ValueError("record must carry a spec_hash")
             self._records[key] = record
         if records:
-            self._merge_disk()
-            self._rewrite()
+            if self.tracer is not None:
+                with self.tracer.span("store_put", "store",
+                                      records=len(records)):
+                    self._merge_disk()
+                    self._rewrite()
+            else:
+                self._merge_disk()
+                self._rewrite()
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "store_puts_total", "Records written to the store",
+                ).inc(len(records))
 
     def _merge_disk(self) -> None:
         """Fold in on-disk records a concurrent writer added since our load.
@@ -174,6 +194,11 @@ class ResultStore:
         and fsync'd, and only then moved over the store.  An interruption at
         any point leaves the previous store intact.
         """
+        if self.metrics is not None:
+            self.metrics.counter(
+                "store_rewrites_total", "Atomic store rewrites").inc()
+            self.metrics.gauge(
+                "store_records", "Records in the store").set(len(self._records))
         self.path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=str(self.path.parent), suffix=".jsonl.tmp")
         try:
@@ -227,7 +252,12 @@ class ResultStore:
         if dropped:
             self._records = {r["spec_hash"]: r for r in self._records.values()
                              if id(r) in keep}
-            self._rewrite()
+            if self.tracer is not None:
+                with self.tracer.span("store_compact", "store",
+                                      dropped=len(dropped)):
+                    self._rewrite()
+            else:
+                self._rewrite()
         return dropped
 
     def gc(self, current_version: Optional[str] = None) -> List[Record]:
@@ -243,7 +273,12 @@ class ResultStore:
             gone = {id(r) for r in dropped}
             self._records = {k: r for k, r in self._records.items()
                              if id(r) not in gone}
-            self._rewrite()
+            if self.tracer is not None:
+                with self.tracer.span("store_gc", "store",
+                                      dropped=len(dropped)):
+                    self._rewrite()
+            else:
+                self._rewrite()
         return dropped
 
 

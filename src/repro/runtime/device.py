@@ -303,7 +303,27 @@ class AMCCADevice:
                 return False
             return sim.is_quiescent
 
+        tracer = sim.tracer
+        if tracer is not None:
+            phase_before = dict(sim.phase_ns) if sim.phase_ns else {}
+            span_start = tracer.now_ns()
         cycles = sim.run(max_cycles=max_cycles, until=finished)
+        if tracer is not None:
+            # One aggregated span per diffusion (per-cycle spans would be
+            # far too hot); per-phase wall time rides along as args and a
+            # counter sample for the viewer's stacked series.
+            phase_us = {
+                name: (ns - phase_before.get(name, 0)) / 1000.0
+                for name, ns in (sim.phase_ns or {}).items()
+            }
+            tracer.complete(
+                phase or f"run-{self._run_count + 1}", "sim",
+                start_ns=span_start, dur_ns=tracer.now_ns() - span_start,
+                cycles=cycles, start_cycle=start, end_cycle=sim.cycle,
+                **{f"{name}_us": round(us, 1)
+                   for name, us in phase_us.items()})
+            if phase_us:
+                tracer.counter("sim_phase_us", phase_us)
         if terminator is not None and finished():
             terminator.mark_finished(sim.cycle)
         self._terminator = None
@@ -359,3 +379,7 @@ class AMCCADevice:
     def trace(self):
         """The trace recorder (frames are only captured if trace_every > 0)."""
         return self.simulator.trace
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.obs.Tracer` (observer-only; see simulator)."""
+        self.simulator.attach_tracer(tracer)

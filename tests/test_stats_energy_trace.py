@@ -156,9 +156,19 @@ class TestTraceRecorder:
         cfg = ChipConfig(width=4, height=4)
         trace = TraceRecorder(cfg, sample_every=1)
         trace.maybe_record(0, [cfg.cc_at(1, 2)])
+        assert trace.frame_at(0, 1, 2) == 1
+        assert sum(trace.frames[0]) == 1
+
+    def test_frames_are_stdlib_bytearrays(self):
+        # Capture must not require numpy (only .npz export does).
+        cfg = ChipConfig(width=3, height=2)
+        trace = TraceRecorder(cfg, sample_every=1)
+        trace.maybe_record(0, [cfg.cc_at(2, 1)])
         frame = trace.frames[0]
-        assert frame[2, 1] == 1
-        assert frame.sum() == 1
+        assert isinstance(frame, bytearray)
+        assert len(frame) == 6
+        rows = trace.frame_rows(0)
+        assert [bytes(r) for r in rows] == [b"\x00\x00\x00", b"\x00\x00\x01"]
 
     def test_ascii_frame(self):
         cfg = ChipConfig(width=3, height=2)
