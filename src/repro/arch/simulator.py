@@ -105,8 +105,11 @@ class Simulator:
         #: cycle, the simulator parks it and wakes it on the flush cycle;
         #: parked cells are counted as active through _parked_count and
         #: their skipped decrements are accrued to the cell's lifetime
-        #: counters when they wake.  Disabled while tracing, which needs the
-        #: exact per-cycle active id lists.
+        #: counters when they wake.  A parked cell keeps a placeholder slot
+        #: in the active list: within-cycle processing order — and with it
+        #: same-cycle NoC injection order — must be identical with parking
+        #: on or off (the fuzz oracle pins this; see repro.fuzz).  Disabled
+        #: while tracing, which needs the exact per-cycle active id lists.
         self._parked = bytearray(config.num_cells)
         self._parked_count = 0
         self._wake_buckets: Dict[int, List[Tuple[int, int]]] = {}
@@ -239,14 +242,15 @@ class Simulator:
         # 0. Wake parked cells whose instruction burn completes this cycle:
         # accrue the decrements they skipped while parked and hand them back
         # to the normal loop for the final decrement that flushes their held
-        # messages (their _remaining_instructions was left at 1).
+        # messages (their _remaining_instructions was left at 1).  No
+        # re-append: the cell never left the active list — its placeholder
+        # slot preserves the exact processing order an unparked burn would
+        # have had.
         woken = self._wake_buckets.pop(cycle, None)
         if woken is not None:
             for cc_id, skipped in woken:
                 parked[cc_id] = 0
-                cell = cells[cc_id]
-                cell.instructions_executed += skipped
-                self.wake(cc_id)
+                cells[cc_id].instructions_executed += skipped
             self._parked_count -= len(woken)
 
         # Parked cells burning instructions THIS cycle: snapshot before
@@ -341,8 +345,14 @@ class Simulator:
         fast_park = self._fast_park
         sweep = self._cell_sweep = self._cell_sweep + 1
         for cc_id in active_cells:
-            cell = cells[cc_id]
             cell_stamp[cc_id] = sweep
+            if parked[cc_id]:
+                # Parked placeholder: the wake bucket does the burn
+                # accounting; the slot is kept only so the cell re-enters
+                # processing at its original position.
+                still_active_append(cc_id)
+                continue
+            cell = cells[cc_id]
             remaining = cell._remaining_instructions
             if remaining > 0:
                 # Finish the instructions of the action in progress.
@@ -389,14 +399,16 @@ class Simulator:
                     if fast_park and remaining >= 3:
                         # Park: the next remaining-1 cycles are pure
                         # decrements; skip them and wake on the flush cycle.
+                        # The cell stays in the active list as a placeholder
+                        # so its processing-order slot survives the park.
                         cell._remaining_instructions = 1
                         parked[cc_id] = 1
-                        cell_stamp[cc_id] = 0
                         self._parked_count += 1
                         bucket = self._wake_buckets.get(cycle + remaining)
                         if bucket is None:
                             self._wake_buckets[cycle + remaining] = bucket = []
                         bucket.append((cc_id, remaining - 1))
+                        still_active_append(cc_id)
                         continue
                     cell._remaining_instructions = remaining
             if cell._remaining_instructions > 0 or cell.staging or cell.task_queue:
@@ -469,7 +481,9 @@ class Simulator:
         budget = max_cycles if max_cycles is not None else float("inf")
         skip_ok = self.cycle_skip and self._fast_park
         while (self.cycle - start) < budget:
-            if (skip_ok and not self._active_cells and not self.io._pending
+            if (skip_ok
+                    and len(self._active_cells) == self._parked_count
+                    and not self.io._pending
                     and not self._cycle_hooks):
                 self._maybe_fast_forward(start + budget)
                 if (self.cycle - start) >= budget:
@@ -485,7 +499,8 @@ class Simulator:
     def _maybe_fast_forward(self, hard_stop) -> None:
         """Jump the clock to the nearest future event, if one is provable.
 
-        Caller has established: no active cells, no pending IO, no cycle
+        Caller has established: no runnable cells (the active list holds
+        only parked placeholders, if anything), no pending IO, no cycle
         hooks, tracing off.  The jump target is the earliest of the next
         parked-cell wake and the NoC's idle horizon, clamped to
         ``hard_stop`` (the run's cycle budget); per-cycle series, cycle

@@ -134,6 +134,35 @@ class SimStats:
             return 0.0
         return max(cells) / self.num_cells
 
+    def fingerprint_summary(self, storm_threshold: int) -> Dict[str, float]:
+        """Deterministic per-cycle distribution summary for workload
+        fingerprinting (see :mod:`repro.fuzz.fingerprint`).
+
+        Pure stdlib arithmetic over the per-cycle series the schedule
+        contract already pins, so the summary is identical across kernels
+        and across instrumented/uninstrumented runs.  ``storm_threshold``
+        is the active-link count above which the vectorised kernel is
+        profitable (:data:`repro.arch.kernels.VECTOR_SWEEP_MIN`, the
+        measured ~800-link crossover).
+        """
+        cycles = len(self.active_cells_per_cycle)
+        in_flight = self.messages_in_flight_per_cycle
+        deliveries = self.deliveries_per_cycle
+        idle = sum(1 for a in self.active_cells_per_cycle if a == 0)
+        storm = sum(1 for f in in_flight if f >= storm_threshold)
+        return {
+            "cycles": cycles,
+            "mean_activation": self.mean_activation(),
+            "peak_activation": self.peak_activation(),
+            "idle_fraction": (idle / cycles) if cycles else 0.0,
+            "mean_in_flight": (sum(in_flight) / cycles) if cycles else 0.0,
+            "peak_in_flight": max(in_flight, default=0),
+            "mean_deliveries": (sum(deliveries) / cycles) if cycles else 0.0,
+            "peak_deliveries": max(deliveries, default=0),
+            "storm_cycles": storm,
+            "storm_fraction": (storm / cycles) if cycles else 0.0,
+        }
+
     def phase_cycles(self) -> Dict[str, int]:
         """Cycles spent in each named phase (difference of consecutive marks)."""
         names = list(self.phase_marks)

@@ -55,6 +55,11 @@ Observe runs without perturbing them (see docs/observability.md)::
     repro suite run --preset paper-tiny --metrics-out results/metrics.prom
     repro bench --trace results/bench-trace.json --profile results/bench.folded
     repro metrics --store results/suite.jsonl --format prometheus
+
+Fuzz the determinism contract and classify workloads (docs/fuzzing.md)::
+
+    repro fuzz run --profile ci --max-examples 25 --seed 0
+    repro fuzz classify --store results/suite.jsonl
 """
 
 from __future__ import annotations
@@ -621,6 +626,112 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz_run(args: argparse.Namespace) -> int:
+    try:
+        from repro.fuzz.campaign import FUZZ_PROFILES, run_campaign  # noqa: F401
+    except ImportError as exc:
+        print(f"repro fuzz run needs the 'hypothesis' package: {exc}",
+              file=sys.stderr)
+        return 2
+    from repro.obs import MetricsRegistry
+
+    metrics = MetricsRegistry() if args.metrics_out else None
+    corpus_dir = None if args.no_corpus else args.corpus_dir
+    result = run_campaign(
+        profile=args.profile,
+        max_examples=args.max_examples,
+        seed=args.seed,
+        corpus_dir=corpus_dir,
+        metrics=metrics,
+        progress=(None if args.quiet
+                  else lambda line: print(line, flush=True)),
+    )
+    from repro.analysis.tables import render_table
+
+    print(f"\nfuzz campaign: profile={result.profile} seed={result.seed} "
+          f"-> {result.examples} example(s) in {result.elapsed_s:.1f}s")
+    print(render_table([
+        {"Invariant": name,
+         "OK": result.counters[name]["ok"],
+         "Skip": result.counters[name]["skip"],
+         "Fail": result.counters[name]["fail"]}
+        for name in sorted(result.counters)
+    ]))
+    if args.json:
+        out = Path(args.json)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(result.as_dict(), indent=2, sort_keys=True)
+                       + "\n", encoding="utf-8")
+        print(f"campaign report: {args.json}")
+    if args.metrics_out:
+        _write_metrics(metrics, args.metrics_out)
+        print(f"metrics: {args.metrics_out}")
+    if result.failure:
+        failed = [o for o in result.failure["outcomes"]
+                  if o["status"] == "fail"]
+        print("\nDIVERGENCE (shrunk to the minimal scenario):",
+              file=sys.stderr)
+        for outcome in failed:
+            print(f"  {outcome['invariant']}: {outcome['detail']}",
+                  file=sys.stderr)
+        print(f"  scenario: {json.dumps(result.failure['scenario'], sort_keys=True)}",
+              file=sys.stderr)
+        if result.corpus_file:
+            print(f"  corpus entry written: {result.corpus_file} "
+                  "(commit it — tier-1 replays tests/corpus/ forever)",
+                  file=sys.stderr)
+        return 1
+    if not result.coverage_complete():
+        print("coverage incomplete: some invariant did not run on every "
+              "example", file=sys.stderr)
+        return 1
+    print("all invariants held on every example")
+    return 0
+
+
+def cmd_fuzz_classify(args: argparse.Namespace) -> int:
+    from repro.harness import ResultStore, fuzz_rows_from_records, get_suite
+
+    if not _require_store_paths(args.store):
+        return 2
+    try:
+        store = ResultStore(args.store)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.preset:
+        try:
+            scenarios = get_suite(args.preset)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        records = [r for s in scenarios
+                   if (r := store.get(s.spec_hash())) is not None]
+    else:
+        records = store.records()
+    rows = fuzz_rows_from_records(records)
+    skipped = len(records) - len(rows)
+    if skipped:
+        print(f"note: {skipped} record(s) lack embedded metrics and were "
+              "skipped", file=sys.stderr)
+    if not rows:
+        print("no classifiable records in the store", file=sys.stderr)
+        return 1
+    if args.json:
+        from repro.fuzz.fingerprint import classify_record
+
+        print(json.dumps(
+            [classify_record(r) for r in records if r.get("metrics")],
+            indent=2, sort_keys=True))
+        return 0
+    from repro.analysis.tables import render_table
+
+    print("Workload regimes (fuzz fingerprint):")
+    print(render_table(rows, max_width=36))
+    return 0
+
+
 def cmd_quickstart(args: argparse.Namespace) -> int:
     chip = ChipConfig.small()
     dataset = make_streaming_dataset(200, 1600, sampling="edge", seed=1)
@@ -676,7 +787,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sp.add_argument(
             "--tables", nargs="+",
-            choices=("suite", "table1", "table2", "activation"),
+            choices=("suite", "table1", "table2", "activation", "fuzz"),
             default=None, help="report sections to print (default: all with data)",
         )
 
@@ -819,7 +930,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "(default: every stored record)")
     p_report.add_argument("--tables", nargs="+",
                           choices=("suite", "table1", "table2", "activation",
-                                   "ablation", "baselines"),
+                                   "ablation", "baselines", "fuzz"),
                           default=None,
                           help="report sections to print (default: all with data)")
     p_report.add_argument("--png", default=None, metavar="DIR",
@@ -865,6 +976,56 @@ def build_parser() -> argparse.ArgumentParser:
                               "here (profiled numbers are not comparable to "
                               "an unprofiled baseline)")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="property-based fuzzing of the determinism contract "
+             "(see docs/fuzzing.md)",
+    )
+    fuzz_sub = p_fuzz.add_subparsers(dest="fuzz_command", required=True)
+    p_fuzz_run = fuzz_sub.add_parser(
+        "run",
+        help="fuzz random scenarios through the differential oracle "
+             "(kernels, snapshots, cycle skip, sharding, tracing)",
+    )
+    p_fuzz_run.add_argument("--profile", choices=("ci", "deep"), default="ci",
+                            help="example budget profile (default: ci)")
+    p_fuzz_run.add_argument("--max-examples", type=int, default=None,
+                            metavar="N",
+                            help="override the profile's example budget")
+    p_fuzz_run.add_argument("--seed", type=int, default=0,
+                            help="campaign seed (default 0; campaigns with "
+                                 "the same seed and budget generate the "
+                                 "same scenarios)")
+    p_fuzz_run.add_argument("--corpus-dir", default="tests/corpus",
+                            metavar="DIR",
+                            help="where a shrunk failing spec is persisted "
+                                 "(default: tests/corpus, replayed by tier-1)")
+    p_fuzz_run.add_argument("--no-corpus", action="store_true",
+                            help="do not persist a failing spec")
+    p_fuzz_run.add_argument("--json", default=None, metavar="PATH",
+                            help="write the campaign report (counters, "
+                                 "failure) as JSON here")
+    p_fuzz_run.add_argument("--metrics-out", default=None, metavar="PATH",
+                            help="write campaign metrics (Prometheus text, "
+                                 "or JSON when PATH ends in .json)")
+    p_fuzz_run.add_argument("--quiet", action="store_true",
+                            help="suppress the per-example progress lines")
+    p_fuzz_run.set_defaults(func=cmd_fuzz_run)
+    p_fuzz_classify = fuzz_sub.add_parser(
+        "classify",
+        help="label stored records with workload regimes "
+             "(park/diffusion/storm) and kernel recommendations",
+    )
+    p_fuzz_classify.add_argument("--store", default="results/suite.jsonl",
+                                 help="JSONL result store path "
+                                      "(default: results/suite.jsonl)")
+    p_fuzz_classify.add_argument("--preset", default=None,
+                                 help="restrict to one suite's scenarios "
+                                      "(default: every stored record)")
+    p_fuzz_classify.add_argument("--json", action="store_true",
+                                 help="emit full classification rows as JSON")
+    p_fuzz_classify.set_defaults(func=cmd_fuzz_classify)
 
     p_metrics = sub.add_parser(
         "metrics",

@@ -10,6 +10,7 @@ pure-Python cycle-accurate simulator (see DESIGN.md and EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -71,6 +72,31 @@ class StreamingDataset:
         }
 
 
+def generate_uniform(num_vertices: int, num_edges: int,
+                     seed: Optional[int] = None) -> List[Edge]:
+    """Uniform random directed edges without self loops, pure stdlib.
+
+    The numpy-free graph family behind ``DatasetSpec(generator="uniform")``:
+    the fuzz oracle needs *some* deterministic dataset model on no-numpy
+    installs, where the SBM generator refuses to run.  Identical
+    ``(num_vertices, num_edges, seed)`` always produce the identical edge
+    list on every platform (``random.Random`` is specified stdlib
+    behaviour).
+    """
+    if num_vertices < 2:
+        raise ValueError("need at least two vertices")
+    if num_edges < 1:
+        raise ValueError("need at least one edge")
+    rng = random.Random(seed)
+    edges: List[Edge] = []
+    while len(edges) < num_edges:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u != v:
+            edges.append(Edge(u, v))
+    return edges
+
+
 def make_streaming_dataset(
     num_vertices: int,
     num_edges: int,
@@ -83,24 +109,35 @@ def make_streaming_dataset(
     symmetric: bool = False,
     seed: Optional[int] = None,
     name: Optional[str] = None,
+    generator: str = "sbm",
 ) -> StreamingDataset:
-    """Generate an SBM graph and split it into streaming increments."""
+    """Generate a graph and split it into streaming increments.
+
+    ``generator="sbm"`` (default) samples the paper's degree-corrected
+    stochastic block model (requires numpy); ``generator="uniform"``
+    samples uniform random edges with the stdlib RNG and runs numpy-free.
+    """
     if sampling not in SAMPLING_KINDS:
         raise ValueError(f"sampling must be one of {SAMPLING_KINDS}")
-    if num_blocks is None:
-        # GraphChallenge-like community sizes (a few tens of vertices per
-        # block) so a snowball's early discovery slices span several blocks
-        # and increment sizes grow the way Table 1 shows.
-        num_blocks = max(4, min(num_vertices // 32, num_vertices))
-    params = SBMParams(
-        num_vertices=num_vertices,
-        num_edges=num_edges,
-        num_blocks=num_blocks,
-        intra_prob=intra_prob,
-        degree_exponent=degree_exponent,
-        seed=seed,
-    )
-    edges = generate_sbm(params)
+    if generator not in ("sbm", "uniform"):
+        raise ValueError(f"generator must be 'sbm' or 'uniform', not {generator!r}")
+    if generator == "uniform":
+        edges = generate_uniform(num_vertices, num_edges, seed=seed)
+    else:
+        if num_blocks is None:
+            # GraphChallenge-like community sizes (a few tens of vertices per
+            # block) so a snowball's early discovery slices span several blocks
+            # and increment sizes grow the way Table 1 shows.
+            num_blocks = max(4, min(num_vertices // 32, num_vertices))
+        params = SBMParams(
+            num_vertices=num_vertices,
+            num_edges=num_edges,
+            num_blocks=num_blocks,
+            intra_prob=intra_prob,
+            degree_exponent=degree_exponent,
+            seed=seed,
+        )
+        edges = generate_sbm(params)
     if symmetric:
         edges = symmetrize(edges)
     if sampling == "edge":
@@ -110,7 +147,7 @@ def make_streaming_dataset(
             edges, num_vertices, num_increments, seed_vertex=0, seed=seed
         )
     return StreamingDataset(
-        name=name or f"sbm-{num_vertices}v-{sampling}",
+        name=name or f"{generator}-{num_vertices}v-{sampling}",
         num_vertices=num_vertices,
         sampling=sampling,
         increments=increments,

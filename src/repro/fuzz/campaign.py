@@ -1,0 +1,190 @@
+"""The fuzz campaign driver behind ``repro fuzz run``.
+
+:func:`run_campaign` feeds :func:`repro.fuzz.strategies.scenarios` examples
+through the differential oracle under a hypothesis profile, accumulates
+per-invariant counters (the proof that every check actually ran on every
+example), and — on a divergence — lets hypothesis shrink the scenario and
+persists the minimal failing spec as a corpus entry under
+``tests/corpus/``, where tier-1 replays it forever after
+(``tests/test_fuzz_corpus.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from hypothesis import HealthCheck, Phase, given
+from hypothesis import seed as hypothesis_seed
+from hypothesis import settings as hypothesis_settings
+
+from repro.fuzz.oracle import INVARIANTS, FuzzDivergence, check_invariants
+from repro.fuzz.strategies import scenarios
+
+#: Campaign profiles, mirrored by the pytest-side hypothesis profiles in
+#: ``tests/helpers.py``: ``ci`` is the nightly/PR budget, ``deep`` the
+#: long-haul soak.  ``--max-examples`` overrides either.
+FUZZ_PROFILES: Dict[str, Dict[str, int]] = {
+    "ci": {"max_examples": 25},
+    "deep": {"max_examples": 250},
+}
+
+#: Where shrunk failing specs land by default (tier-1 replays this
+#: directory, so a fuzz find becomes a regression test by existing).
+DEFAULT_CORPUS_DIR = os.path.join("tests", "corpus")
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one fuzz campaign."""
+
+    profile: str
+    seed: int
+    max_examples: int
+    examples: int = 0
+    #: per-invariant {"ok": n, "skip": n, "fail": n} counters.
+    counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: The shrunk failing report (as_dict form), or None when green.
+    failure: Optional[Dict[str, Any]] = None
+    #: Corpus file the failure was persisted to, if any.
+    corpus_file: Optional[str] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def coverage_complete(self) -> bool:
+        """Did every invariant run (ok or accounted skip) on every example?"""
+        return all(
+            sum(self.counters[name].values()) == self.examples
+            for name in INVARIANTS
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "profile": self.profile,
+            "seed": self.seed,
+            "max_examples": self.max_examples,
+            "examples": self.examples,
+            "counters": self.counters,
+            "coverage_complete": self.coverage_complete(),
+            "failure": self.failure,
+            "corpus_file": self.corpus_file,
+            "ok": self.ok,
+        }
+
+
+def corpus_entry_path(corpus_dir: str, spec_hash: str) -> str:
+    return os.path.join(corpus_dir, f"fuzz-{spec_hash[:12]}.json")
+
+
+def save_corpus_entry(report_dict: Dict[str, Any], corpus_dir: str,
+                      *, seed: int, profile: str,
+                      spec_hash: str) -> str:
+    """Persist a shrunk failing oracle report as a corpus regression spec."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = corpus_entry_path(corpus_dir, spec_hash)
+    entry = {
+        "scenario": report_dict["scenario"],
+        "failed": [o for o in report_dict["outcomes"]
+                   if o["status"] == "fail"],
+        "found_by": {"tool": "repro fuzz run", "seed": seed,
+                     "profile": profile},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(entry, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def run_campaign(
+    *,
+    profile: str = "ci",
+    max_examples: Optional[int] = None,
+    seed: int = 0,
+    corpus_dir: Optional[str] = DEFAULT_CORPUS_DIR,
+    metrics=None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Run one fuzz campaign; never raises on a divergence — reports it.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`, optional) receives
+    ``fuzz_examples_total`` and ``fuzz_invariant_checks_total{invariant,
+    status}`` counters.  ``progress`` gets one line per example.
+
+    The counters are exact while the campaign is green.  Once a divergence
+    is found, hypothesis re-executes the oracle while shrinking, so the
+    counters then over-count — by design: their job is proving coverage of
+    *passing* campaigns, the failure's job is carrying the shrunk spec.
+    """
+    if profile not in FUZZ_PROFILES:
+        raise ValueError(
+            f"unknown fuzz profile {profile!r}; expected one of "
+            f"{tuple(FUZZ_PROFILES)}")
+    budget = max_examples or FUZZ_PROFILES[profile]["max_examples"]
+    result = CampaignResult(
+        profile=profile, seed=seed, max_examples=budget,
+        counters={name: {"ok": 0, "skip": 0, "fail": 0}
+                  for name in INVARIANTS},
+    )
+    say = progress or (lambda _msg: None)
+
+    campaign_settings = hypothesis_settings(
+        max_examples=budget,
+        deadline=None,
+        database=None,
+        derandomize=False,
+        phases=(Phase.generate, Phase.shrink),
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.data_too_large,
+            HealthCheck.filter_too_much,
+        ],
+    )
+
+    @hypothesis_seed(seed)
+    @campaign_settings
+    @given(scenario=scenarios())
+    def property_(scenario) -> None:
+        report = check_invariants(scenario)
+        result.examples += 1
+        for outcome in report.outcomes:
+            result.counters[outcome.invariant][outcome.status] += 1
+            if metrics is not None:
+                metrics.counter(
+                    "fuzz_invariant_checks_total",
+                    "Oracle invariant checks by outcome",
+                    ("invariant", "status"),
+                ).inc(invariant=outcome.invariant, status=outcome.status)
+        if metrics is not None:
+            metrics.counter("fuzz_examples_total",
+                            "Scenarios fuzzed through the oracle").inc()
+        say(f"[{result.examples:4d}] {scenario.dataset.name} "
+            f"{scenario.algorithm} side={scenario.chip.side} "
+            f"{scenario.chip.fidelity} -> "
+            f"{report.classification['regime']}")
+        if not report.ok:
+            raise FuzzDivergence(report)
+
+    started = time.perf_counter()
+    try:
+        property_()
+    except FuzzDivergence as exc:
+        # hypothesis re-raised from the *minimal* example: exc.report is
+        # the shrunk witness.
+        report_dict = exc.report.as_dict()
+        result.failure = report_dict
+        if corpus_dir is not None:
+            result.corpus_file = save_corpus_entry(
+                report_dict, corpus_dir, seed=seed, profile=profile,
+                spec_hash=exc.report.scenario.spec_hash())
+    result.elapsed_s = time.perf_counter() - started
+    if metrics is not None:
+        metrics.gauge("fuzz_campaign_elapsed_seconds",
+                      "Wall time of the last fuzz campaign").set(
+            result.elapsed_s)
+    return result

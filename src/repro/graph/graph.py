@@ -87,6 +87,11 @@ class DynamicGraph:
         self.increments_streamed = 0
         self.edges_streamed = 0
         self.increment_results: List[RunResult] = []
+        #: Work left outstanding by a truncated increment
+        #: (``max_cycles_per_increment``).  The next increment's terminator
+        #: starts pre-charged with it, so carried-over completions retire
+        #: cleanly instead of driving the fresh counter negative.
+        self.carried_outstanding = 0
 
     # ------------------------------------------------------------------
     # Algorithm attachment
@@ -159,10 +164,16 @@ class DynamicGraph:
         edges = list(edges)
         phase = phase or f"increment-{self.increments_streamed + 1}"
         terminator = terminator or Terminator(phase)
+        if self.carried_outstanding:
+            # A previous increment was cut off by its cycle budget with
+            # work still in flight; that work completes under *this*
+            # increment's terminator, so charge it as sent here.
+            terminator.on_sent(self.carried_outstanding)
         queued = self.device.register_data_transfer(
             edges, INSERT_EDGE_ACTION, self._edge_to_transfer
         )
         result = self.device.run(terminator=terminator, max_cycles=max_cycles, phase=phase)
+        self.carried_outstanding = terminator.outstanding
         result.extra["edges"] = queued
         result.extra["terminator"] = terminator
         self.increments_streamed += 1
@@ -241,6 +252,7 @@ class DynamicGraph:
             "num_vertices": self.num_vertices,
             "increments_streamed": self.increments_streamed,
             "edges_streamed": self.edges_streamed,
+            "carried_outstanding": self.carried_outstanding,
             "ghost_blocks_allocated": self.ghost_blocks_allocated,
             "increment_results": [
                 (r.phase, r.cycles, r.start_cycle, r.end_cycle)
@@ -304,6 +316,7 @@ class DynamicGraph:
             cells[cc_id].memory[obj_id] = VertexBlock.from_state(block_state)
         self.increments_streamed = state["increments_streamed"]
         self.edges_streamed = state["edges_streamed"]
+        self.carried_outstanding = state.get("carried_outstanding", 0)
         self.ghost_blocks_allocated = state["ghost_blocks_allocated"]
         stats = self.device.simulator.stats
         self.increment_results = [

@@ -18,6 +18,7 @@ address, and the blocks forward work among themselves.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
@@ -199,7 +200,10 @@ class VertexBlock:
             "edges": list(self.edges),
             "ghost_futures": ghost_futures,
             "ghost_addrs": list(self.ghost_addrs),
-            "state": dict(self.state),
+            # Deep copy: algorithm state may nest mutable containers
+            # (jaccard keeps a per-pair dict), and a captured Snapshot
+            # must not alias state the live run keeps mutating.
+            "state": copy.deepcopy(self.state),
             "mirror": list(self.mirror),
             "inserts_seen": self.inserts_seen,
             "forwards": self.forwards,
@@ -226,7 +230,9 @@ class VertexBlock:
                 future.value = value
             future.fulfilled_count = count
         self.ghost_addrs = list(state["ghost_addrs"])
-        self.state = dict(state["state"])
+        # Deep copy for the same reason as in to_state: the restored block
+        # must not mutate the Snapshot body it was rebuilt from.
+        self.state = copy.deepcopy(state["state"])
         self.mirror = list(state["mirror"])
         self.inserts_seen = state["inserts_seen"]
         self.forwards = state["forwards"]

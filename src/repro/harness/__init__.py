@@ -56,6 +56,7 @@ from repro.harness.report import (
     activation_rows_from_records,
     baseline_rows_from_records,
     export_png_figures,
+    fuzz_rows_from_records,
     increment_figures_from_records,
     render_store_diff,
     render_suite_report,
@@ -78,6 +79,7 @@ from repro.harness.runner import (
 )
 from repro.harness.scenario import (
     ALGORITHMS,
+    QUERY_ALGORITHMS,
     ChipSpec,
     DatasetSpec,
     RunOptions,
@@ -93,10 +95,12 @@ from repro.harness.store import (
 __all__ = [
     "ALGORITHMS",
     "BENCH_SCHEMA",
+    "QUERY_ALGORITHMS",
     "ablation_rows_from_records",
     "activation_rows_from_records",
     "baseline_rows_from_records",
     "export_png_figures",
+    "fuzz_rows_from_records",
     "update_baseline",
     "BenchComparison",
     "ChipSpec",

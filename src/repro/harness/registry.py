@@ -242,6 +242,38 @@ register_suite("noc-sweep",
                _noc_sweep)
 
 
+def _graphchallenge_demo() -> List[Scenario]:
+    """The quick-start demo workload as a stored suite.
+
+    One 1/50-scale 50 K-class graph on a 16x16 chip, edge and snowball
+    sampling, ingestion-only and with BFS — the exact configuration
+    ``examples/streaming_graphchallenge.py`` measures.  The example now
+    drives this suite through the harness, so demo runs land in the shared
+    result store and ``repro suite show --preset graphchallenge-demo``
+    (or ``repro report``) rebuilds its tables without re-simulating.
+    """
+    scenarios = []
+    for sampling in ("edge", "snowball"):
+        dataset = DatasetSpec(vertices=1000, edges=20_000, sampling=sampling,
+                              seed=7)
+        for algorithm in ("ingest", "bfs"):
+            scenarios.append(
+                Scenario(
+                    name=f"graphchallenge-demo-{sampling}-{algorithm}",
+                    dataset=dataset,
+                    chip=ChipSpec(side=16),
+                    algorithm=algorithm,
+                )
+            )
+    return scenarios
+
+
+register_suite("graphchallenge-demo",
+               "the examples/ demo workload: 1/50-scale 50K-class graph, "
+               "edge + snowball x {ingest, bfs} (4 scenarios)",
+               _graphchallenge_demo)
+
+
 def _figures_500k() -> List[Scenario]:
     """Figures 6/7/9 workloads as a stored suite (ports ``bench_fig6/7/9``).
 

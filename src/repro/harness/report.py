@@ -213,6 +213,37 @@ def baseline_rows_from_records(records: Sequence[Record]) -> List[Dict[str, obje
     return rows
 
 
+def fuzz_rows_from_records(records: Sequence[Record]) -> List[Dict[str, object]]:
+    """Workload-regime classification rows (``repro fuzz classify``).
+
+    Classifies every record that embeds a metrics snapshot via
+    :func:`repro.fuzz.fingerprint.classify_record`; records predating
+    embedded metrics are skipped (the fingerprint needs the per-cycle
+    histograms).  Import is deferred: :mod:`repro.fuzz` itself imports the
+    harness, and the section should not cost anything when unused.
+    """
+    from repro.fuzz.fingerprint import classify_record
+
+    rows: List[Dict[str, object]] = []
+    for record in records:
+        if not record.get("metrics"):
+            continue
+        c = classify_record(record)
+        rows.append(
+            {
+                "Scenario": c["name"],
+                "Regime": c["regime"],
+                "Kernel rec.": c["kernel_recommendation"],
+                "Cycles": c["cycles"],
+                "Mean Active %": round(100 * c["mean_activation"], 2),
+                "Idle %": round(100 * c["idle_fraction"], 2),
+                "Peak In-Flight": c["peak_in_flight"],
+                "Storm %": round(100 * c["storm_fraction"], 2),
+            }
+        )
+    return rows
+
+
 def increment_figures_from_records(records: Sequence[Record]) -> List[FigureData]:
     """Figure 8/9 analogues (cycles per increment) from paired records."""
     figures: List[FigureData] = []
@@ -237,12 +268,12 @@ def render_suite_report(records: Sequence[Record], *,
     """Render a full text report for a suite's records.
 
     ``tables`` selects sections out of ``("suite", "table1", "table2",
-    "activation", "ablation", "baselines")``; by default every section
-    that has data is included.
+    "activation", "ablation", "baselines", "fuzz")``; by default every
+    section that has data is included.
     """
     wanted = (tuple(tables) if tables is not None
               else ("suite", "table1", "table2", "activation", "ablation",
-                    "baselines"))
+                    "baselines", "fuzz"))
     sections: List[str] = []
     if "suite" in wanted:
         sections.append("Suite results:\n"
@@ -272,6 +303,11 @@ def render_suite_report(records: Sequence[Record], *,
         if rows:
             sections.append("Baseline comparison (incremental vs BSP estimate):\n"
                             + render_table(rows))
+    if "fuzz" in wanted:
+        rows = fuzz_rows_from_records(records)
+        if rows:
+            sections.append("Workload regimes (fuzz fingerprint):\n"
+                            + render_table(rows, max_width=36))
     return "\n\n".join(sections)
 
 

@@ -81,6 +81,7 @@ def materialize_dataset(spec: DatasetSpec) -> StreamingDataset:
         symmetric=spec.symmetric,
         seed=spec.seed,
         name=spec.name,
+        generator=spec.generator,
     )
     if spec.weighted:
         rng = random.Random(spec.seed)
@@ -247,6 +248,7 @@ def _execute_span(
     trace_path: Optional[str] = None,
     frames_every: int = 0,
     env_out: Optional[Dict[str, Any]] = None,
+    device_setup: Optional[Callable[[AMCCADevice], None]] = None,
 ) -> Dict[str, Any]:
     """Run increments ``[0, stop)``, measuring only ``[start, stop)``.
 
@@ -267,12 +269,19 @@ def _execute_span(
     with or without it.  ``frames_every`` enables activity-frame capture;
     ``env_out``, when given, receives the live ``dataset``/``device``/
     ``graph``/``algorithm`` for callers that want to inspect them after the
-    run (e.g. :func:`run_scenario_traced`).
+    run (e.g. :func:`run_scenario_traced`).  ``device_setup``, when given,
+    is called with the freshly built device before any increment streams —
+    a test/fuzz hook (e.g. the fuzz oracle disables cycle skipping through
+    it to pin skip transparency); contract-pinned knobs flipped here must
+    leave the record byte-identical, which is exactly what the oracle
+    asserts.
     """
     t0 = time.perf_counter()
     opts: RunOptions = scenario.options
     dataset, device, graph, algorithm = _materialize(
         scenario, kernel, frames_every=frames_every)
+    if device_setup is not None:
+        device_setup(device)
     tracer = None
     if trace_path is not None or env_out is not None:
         # env_out implies an instrumented caller (run_scenario_traced):
@@ -355,13 +364,19 @@ def _assemble_record(
 def run_scenario(
     scenario: Scenario, *, timings: Optional[Dict[str, float]] = None,
     kernel: Optional[str] = None,
+    device_setup: Optional[Callable[[AMCCADevice], None]] = None,
 ) -> Dict[str, Any]:
-    """Execute one scenario end to end and return its result record."""
+    """Execute one scenario end to end and return its result record.
+
+    ``device_setup`` (test/fuzz hook) receives the freshly built device
+    before streaming starts; see :func:`_execute_span`.
+    """
     opts = scenario.options
     part = _execute_span(scenario, 0, None, True, timings, kernel,
                          snapshot_every=opts.snapshot_every,
                          snapshot_dir=opts.snapshot_dir,
-                         trace_path=opts.trace_path)
+                         trace_path=opts.trace_path,
+                         device_setup=device_setup)
     return _assemble_record(scenario, part["increment_cycles"], part["final"])
 
 

@@ -38,10 +38,28 @@ ALGORITHMS: Tuple[str, ...] = (
 #: Algorithms that operate on an undirected (symmetrised) edge set.
 SYMMETRIC_ALGORITHMS: Tuple[str, ...] = ("components", "triangles", "jaccard")
 
+#: Algorithms with a post-stream query phase (``algorithm.run`` on the
+#: device).  The query's terminator counts its own sent-vs-completed
+#: messages, so it requires the streaming phase to have fully drained —
+#: combining these with ``max_cycles_per_increment`` (which can leave
+#: streaming messages in flight) is rejected at construction.  Found by
+#: ``repro fuzz run`` (see tests/corpus/).
+QUERY_ALGORITHMS: Tuple[str, ...] = ("pagerank", "triangles", "jaccard")
+
 
 @dataclass(frozen=True)
 class DatasetSpec:
-    """Declarative description of a streaming dataset (see Table 1)."""
+    """Declarative description of a streaming dataset (see Table 1).
+
+    ``generator`` selects the underlying graph model: ``"sbm"`` (the
+    paper's degree-corrected stochastic block model; needs numpy) or
+    ``"uniform"`` (uniform random edges, pure stdlib — the numpy-free
+    family the fuzz oracle uses on no-numpy installs).  Unlike the chip's
+    ``kernel`` pin this **is** experiment identity — different generators
+    stream different edges — but the default is omitted from
+    :meth:`Scenario.spec_dict` so every pre-existing spec hash, graph seed
+    and stored record stays byte-identical.
+    """
 
     vertices: int = 200
     edges: int = 2000
@@ -50,6 +68,7 @@ class DatasetSpec:
     symmetric: bool = False
     weighted: bool = False
     seed: int = 7
+    generator: str = "sbm"
 
     def __post_init__(self) -> None:
         if self.vertices <= 0 or self.edges <= 0:
@@ -58,10 +77,13 @@ class DatasetSpec:
             raise ValueError(f"unknown sampling {self.sampling!r}")
         if self.num_increments <= 0:
             raise ValueError("num_increments must be positive")
+        if self.generator not in ("sbm", "uniform"):
+            raise ValueError(f"unknown generator {self.generator!r}")
 
     @property
     def name(self) -> str:
-        return f"sbm-{self.vertices}v-{self.edges}e-{self.sampling}"
+        prefix = "sbm" if self.generator == "sbm" else self.generator
+        return f"{prefix}-{self.vertices}v-{self.edges}e-{self.sampling}"
 
 
 @dataclass(frozen=True)
@@ -140,6 +162,13 @@ class Scenario:
             raise ValueError(
                 f"unknown algorithm {self.algorithm!r}; expected one of {ALGORITHMS}"
             )
+        if (self.algorithm in QUERY_ALGORITHMS
+                and self.options.max_cycles_per_increment is not None):
+            raise ValueError(
+                f"{self.algorithm!r} runs a post-stream query phase, which "
+                "requires fully drained increments; it cannot be combined "
+                "with max_cycles_per_increment"
+            )
 
     # ------------------------------------------------------------------
     # Serialisation
@@ -160,6 +189,11 @@ class Scenario:
         data["options"].pop("snapshot_every", None)
         data["options"].pop("snapshot_dir", None)
         data["options"].pop("trace_path", None)
+        # The dataset generator IS identity (different generators stream
+        # different edges) but the default is omitted so specs predating the
+        # field keep their exact canonical JSON, hash and graph seed.
+        if data["dataset"].get("generator") == "sbm":
+            del data["dataset"]["generator"]
         return data
 
     @classmethod

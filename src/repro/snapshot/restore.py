@@ -13,6 +13,7 @@ run from the capture point, on every kernel.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING
 
 from repro.arch.config import ChipConfig
@@ -58,7 +59,28 @@ def restore_into(graph: DynamicGraph, snapshot: "Snapshot") -> DynamicGraph:
     sim.io.import_state(body["io"])
     graph.device.restore_state(body["device"])
     graph.restore_snapshot_state(body["graph"])
+    _maybe_inject_fault(sim)
     return graph
+
+
+def _maybe_inject_fault(sim: Simulator) -> None:
+    """Test-only fault injection for the fuzz oracle (see repro.fuzz).
+
+    ``REPRO_FUZZ_INJECT=restore-stats`` perturbs one restored counter so a
+    resumed run diverges from the uninterrupted one.  The fuzz self-tests
+    set it to prove the differential oracle actually detects (and shrinks)
+    a broken restore; it must never be set outside those tests.  The check
+    lives on the restore path only — the cold side of every differential
+    pair — so both the resumed-record and recapture-hash invariants see
+    the corruption.
+    """
+    mode = os.environ.get("REPRO_FUZZ_INJECT")
+    if not mode:
+        return
+    if mode == "restore-stats":
+        sim.stats.hops += 1
+    else:
+        raise SnapshotError(f"unknown REPRO_FUZZ_INJECT mode {mode!r}")
 
 
 def restore_simulator(config: ChipConfig, snapshot: "Snapshot") -> Simulator:

@@ -14,7 +14,16 @@ from repro.arch.config import ChipConfig
 from repro.datasets.streaming import StreamingDataset, make_streaming_dataset
 from repro.runtime.device import AMCCADevice
 
-from helpers import build_bfs_graph, random_edges  # noqa: F401  (re-exported)
+from helpers import (  # noqa: F401  (re-exported)
+    build_bfs_graph,
+    random_edges,
+    register_hypothesis_profiles,
+)
+
+# Register "ci"/"deep" hypothesis profiles for the whole suite; pytest's
+# --hypothesis-profile flag (applied later, at configure time) can still
+# override the default loaded here.
+register_hypothesis_profiles()
 
 
 @pytest.fixture

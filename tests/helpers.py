@@ -9,10 +9,12 @@ in ``sys.modules``).  A uniquely named helper module has no such collision.
 
 from __future__ import annotations
 
+import os
 import random
 from typing import List, Tuple
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro._compat import HAVE_NUMPY
 from repro.arch.config import ChipConfig
@@ -26,6 +28,33 @@ from repro.runtime.device import AMCCADevice
 #: CI job executes everything that is not marked with this.
 requires_numpy = pytest.mark.skipif(
     not HAVE_NUMPY, reason="requires numpy (dataset generation / analysis)")
+
+#: Health checks every whole-stack property test suppresses: one example
+#: simulates a full chip, so hypothesis's per-example timing heuristics
+#: misfire, and composite scenario strategies filter (symmetry, roots).
+HYPOTHESIS_SUPPRESS = [
+    HealthCheck.too_slow,
+    HealthCheck.data_too_large,
+    HealthCheck.filter_too_much,
+]
+
+
+def register_hypothesis_profiles() -> None:
+    """Register the repo-wide hypothesis profiles (called from conftest).
+
+    ``ci`` (default) keeps property tests in the seconds range; ``deep``
+    is the soak budget, mirroring ``repro fuzz run``'s campaign profiles
+    (:data:`repro.fuzz.campaign.FUZZ_PROFILES`).  Select with
+    ``--hypothesis-profile=deep`` or ``REPRO_HYPOTHESIS_PROFILE=deep``;
+    per-test ``@settings(...)`` overrides still apply on top.
+    """
+    settings.register_profile(
+        "ci", max_examples=20, deadline=None,
+        suppress_health_check=HYPOTHESIS_SUPPRESS)
+    settings.register_profile(
+        "deep", max_examples=200, deadline=None,
+        suppress_health_check=HYPOTHESIS_SUPPRESS)
+    settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "ci"))
 
 
 def random_edges(num_vertices: int, num_edges: int, seed: int = 0,

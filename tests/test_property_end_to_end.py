@@ -11,7 +11,7 @@ two invariants that matter most:
 """
 
 import networkx as nx
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.arch.config import ChipConfig
 from repro.algorithms.bfs import StreamingBFS
@@ -29,11 +29,9 @@ edge_strategy = st.tuples(
 
 stream_strategy = st.lists(edge_strategy, min_size=0, max_size=120)
 
-SLOW = settings(
-    max_examples=20,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
-)
+# Example budgets, deadlines and health-check suppressions come from the
+# shared "ci"/"deep" hypothesis profiles registered in conftest.py (see
+# helpers.register_hypothesis_profiles).
 
 
 def build(capacity: int, allocator: str):
@@ -46,7 +44,6 @@ def build(capacity: int, allocator: str):
     return graph, bfs
 
 
-@SLOW
 @given(pairs=stream_strategy, capacity=st.integers(min_value=1, max_value=6),
        allocator=st.sampled_from(["vicinity", "random"]))
 def test_property_edge_multiset_preserved(pairs, capacity, allocator):
@@ -68,7 +65,6 @@ def test_property_edge_multiset_preserved(pairs, capacity, allocator):
             assert block.degree_local <= block.capacity
 
 
-@SLOW
 @given(pairs=stream_strategy, splits=st.integers(min_value=1, max_value=4),
        capacity=st.integers(min_value=2, max_value=8))
 def test_property_bfs_matches_networkx_for_any_increment_split(pairs, splits, capacity):
