@@ -3,10 +3,13 @@
 
 The conclusion of the paper names Triangle Counting and Jaccard Coefficient
 as natural next algorithms for the message-driven streaming model.  This
-example runs the harness's ``algorithms`` suite — ingestion plus all six
-shipped algorithms (BFS, connected components, SSSP, triangle counting,
-Jaccard, PageRank-delta) on one streamed graph — and cross-checks every
-recorded metric against NetworkX on the same edge set.
+example runs the harness's ``algorithms`` suite — ingestion plus every
+registered algorithm (BFS, connected components, SSSP, triangle counting,
+Jaccard, PageRank-delta, k-core, label propagation) on one streamed graph —
+and cross-checks every recorded metric against NetworkX on the same edge
+set.  The suite enumerates the algorithm registry, so a newly dropped-in
+workload shows up here without touching this script (see
+docs/algorithms.md).
 
 It is a thin wrapper over :mod:`repro.harness`: the suite definition, the
 per-scenario device construction and the result records are all the same
@@ -41,7 +44,16 @@ def reference_metrics(scenario):
     if kind == "triangles":
         total = sum(nx.triangles(nxg.to_undirected()).values()) // 3
         return {"triangles": total}
-    # pagerank / jaccard: spot-checked below rather than recomputed exactly.
+    if kind == "kcore":
+        undirected = nx.Graph(nxg.to_undirected())
+        undirected.remove_edges_from(nx.selfloop_edges(undirected))
+        cores = nx.core_number(undirected)
+        return {
+            "max_core": max(cores.values()) if cores else 0,
+            "cored_vertices": sum(1 for c in cores.values() if c > 0),
+        }
+    # pagerank / jaccard / labelprop: spot-checked below rather than
+    # recomputed exactly.
     return None
 
 
@@ -63,9 +75,12 @@ def main() -> None:
             assert got == value, (
                 f"{scenario.name}: {key}={got}, NetworkX says {value}"
             )
-    # PageRank-delta conserves rank mass; Jaccard reports positive pairs.
+    # PageRank-delta conserves rank mass; Jaccard reports positive pairs;
+    # label propagation settled on at least one community within its cap.
     assert abs(by_name["algo-pagerank"]["algo_metrics"]["rank_mass"] - 1.0) < 1e-6
     assert by_name["algo-jaccard"]["algo_metrics"]["pairs"] > 0
+    labelprop = by_name["algo-labelprop"]["algo_metrics"]
+    assert labelprop["communities"] >= 1 and labelprop["rounds"] >= 1
     print("all recorded metrics match NetworkX ground truth")
 
 

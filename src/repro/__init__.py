@@ -30,7 +30,10 @@ from repro.arch import ChipConfig, EnergyModel
 from repro.runtime import AMCCADevice, Terminator
 from repro.graph import DynamicGraph, Edge
 from repro.algorithms import (
+    Algorithm,
     JaccardCoefficient,
+    KCoreDecomposition,
+    LabelPropagation,
     PageRankDelta,
     StreamingBFS,
     StreamingConnectedComponents,
@@ -46,7 +49,10 @@ from repro.datasets import make_streaming_dataset, paper_dataset_configs
 # 1.3.0: observability layer (repro.obs).  The schedule is unchanged, but
 # records gained an embedded deterministic ``metrics`` snapshot, so the
 # bump invalidates caches to keep every stored record shape-uniform.
-__version__ = "1.3.0"
+# 1.4.0: uniform Algorithm contract + auto-registration registry, plus two
+# new registered workloads (kcore, labelprop).  Existing schedules and
+# record shapes are unchanged; the bump marks the API generation.
+__version__ = "1.4.0"
 
 __all__ = [
     "ChipConfig",
@@ -55,7 +61,10 @@ __all__ = [
     "Terminator",
     "DynamicGraph",
     "Edge",
+    "Algorithm",
     "JaccardCoefficient",
+    "KCoreDecomposition",
+    "LabelPropagation",
     "PageRankDelta",
     "StreamingBFS",
     "StreamingConnectedComponents",

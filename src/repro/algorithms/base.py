@@ -1,21 +1,53 @@
-"""Base classes for message-driven graph algorithms.
+"""The uniform :class:`Algorithm` contract for message-driven graph algorithms.
 
-Two flavours exist:
+Every algorithm in the zoo — streaming or query, paper workload or
+follow-on — implements **one lifecycle**:
 
-* :class:`StreamingAlgorithm` -- maintains its result *while* edges stream
-  in.  The ingestion action calls :meth:`StreamingAlgorithm.on_edge_inserted`
-  for every edge that lands in a block, and the algorithm's own actions keep
-  diffusing updates until the terminator fires.  BFS, SSSP, connected
-  components and PageRank-delta are of this kind.
-* :class:`QueryAlgorithm` -- runs a diffusion over the already-ingested graph
-  on demand (triangle counting, Jaccard).  These are the paper's future-work
-  algorithms; they reuse the same actions/futures machinery but are launched
-  from the host after ingestion quiesces.
+``attach(graph)``
+    Wire the algorithm to a :class:`~repro.graph.graph.DynamicGraph`:
+    register its actions on the device.  Called by ``graph.attach``.
+``init_state(block)``
+    Initialise this algorithm's per-block state fields (called for every
+    root block at attach time; per-block state is what snapshots capture).
+``seed(graph, root=...)``
+    Host-side seeding before streaming starts (BFS/SSSP root injection).
+    A no-op by default — the runner calls it unconditionally, so there is
+    no ``hasattr`` duck-typing anywhere in the harness.
+``on_edge_inserted(ctx, block, slot)``
+    Streaming hook: called by ``insert-edge-action`` right after an edge
+    lands in a block.  A no-op by default (query-only algorithms).
+``run(graph)``
+    Post-stream query diffusion.  Returns a
+    :class:`~repro.runtime.device.RunResult` — or ``None`` (the default)
+    for algorithms whose result is maintained entirely while streaming.
+``results(graph)``
+    Read the converged result off the chip.
+``reference(nx_graph)``
+    Ground truth for the same edge set, computed host-side (NetworkX or a
+    direct reimplementation of the algorithm's deterministic semantics).
+``verify(results, reference)``
+    Whether a chip result agrees with the reference.  Exact equality by
+    default; statistically-converging algorithms (PageRank) override it.
+``summarize(results)``
+    Small deterministic scalars for the result record's ``algo_metrics``
+    field — the registry-driven replacement for the harness's old
+    per-kind ``_algorithm_metrics`` branches.
+
+Which hooks do real work is declared as data on the class
+(``cls.caps``, a :class:`~repro.algorithms.registry.Capabilities`) by the
+:func:`~repro.algorithms.registry.register_algorithm` decorator; the
+harness, fuzzer, suites and CLI read those capabilities instead of
+hardcoding algorithm sets.
+
+``StreamingAlgorithm`` and ``QueryAlgorithm`` remain as deprecated
+aliases of :class:`Algorithm` for external subclasses written against the
+pre-registry API.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, TYPE_CHECKING
+import warnings
+from typing import Any, Dict, Optional, TYPE_CHECKING
 
 import networkx as nx
 
@@ -27,39 +59,69 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.device import RunResult
 
 
-class StreamingAlgorithm:
-    """An algorithm whose result is maintained incrementally during streaming."""
+class Algorithm:
+    """Base class of every registered algorithm (see the module docstring)."""
 
-    #: short identifier used in action names and reports
+    #: short identifier used in action names and reports; stamped by
+    #: :func:`~repro.algorithms.registry.register_algorithm`.
     name = "abstract"
 
     def __init__(self) -> None:
         self.graph: "DynamicGraph | None" = None
 
     # -- wiring ---------------------------------------------------------
-    def register(self, graph: "DynamicGraph") -> None:
+    def attach(self, graph: "DynamicGraph") -> None:
         """Register this algorithm's actions on the graph's device."""
         self.graph = graph
+
+    def register(self, graph: "DynamicGraph") -> None:
+        """Deprecated pre-registry name for :meth:`attach`."""
+        warnings.warn(
+            "Algorithm.register(graph) is deprecated; use attach(graph)",
+            DeprecationWarning, stacklevel=2)
+        self.attach(graph)
 
     def init_state(self, block: VertexBlock) -> None:
         """Initialise this algorithm's per-block state fields."""
         raise NotImplementedError
 
-    # -- streaming hook ---------------------------------------------------
-    def on_edge_inserted(self, ctx: ActionContext, block: VertexBlock, slot: EdgeSlot) -> None:
-        """Called by ``insert-edge-action`` right after an edge lands in ``block``."""
+    def seed(self, graph: "DynamicGraph", root: Optional[int] = None,
+             **kwargs: Any) -> None:
+        """Host-side seeding before streaming starts (no-op by default)."""
+        return None
+
+    # -- streaming hook -------------------------------------------------
+    def on_edge_inserted(self, ctx: ActionContext, block: VertexBlock,
+                         slot: EdgeSlot) -> None:
+        """Called right after an edge lands in ``block`` (no-op by default)."""
+        return None
+
+    # -- query phase ----------------------------------------------------
+    def run(self, graph: "DynamicGraph",
+            max_cycles: int | None = None) -> "RunResult | None":
+        """Post-stream query diffusion (no-op by default, returning ``None``)."""
+        return None
+
+    # -- results --------------------------------------------------------
+    def results(self, graph: "DynamicGraph") -> Dict[Any, Any]:
+        """Read the algorithm's converged result from the chip."""
         raise NotImplementedError
 
-    # -- results ----------------------------------------------------------
-    def results(self, graph: "DynamicGraph") -> Dict[int, Any]:
-        """Read the algorithm's converged per-vertex result from the chip."""
+    def reference(self, nx_graph: "nx.DiGraph | nx.Graph",
+                  **kwargs: Any) -> Dict[Any, Any]:
+        """Ground-truth result computed host-side on the same edge set."""
         raise NotImplementedError
 
-    def reference(self, nx_graph: "nx.DiGraph | nx.Graph", **kwargs) -> Dict[int, Any]:
-        """Ground-truth result computed with NetworkX on the same edge set."""
-        raise NotImplementedError
+    def verify(self, results: Dict[Any, Any],
+               reference: Dict[Any, Any]) -> bool:
+        """Chip result vs reference (exact equality unless overridden)."""
+        return results == reference
 
-    # -- common helpers ---------------------------------------------------
+    def summarize(self, results: Dict[Any, Any]) -> Dict[str, Any]:
+        """Small deterministic scalars for the record's ``algo_metrics``."""
+        return {}
+
+    # -- common helpers -------------------------------------------------
     def _forward_to_ghosts(self, ctx: ActionContext, block: VertexBlock,
                            action: str, *operands: Any) -> None:
         """Propagate an update down the block's ghost hierarchy.
@@ -79,30 +141,7 @@ class StreamingAlgorithm:
                 future.enqueue(resume)
 
 
-class QueryAlgorithm:
-    """An algorithm launched over the ingested graph after it quiesces."""
-
-    name = "abstract-query"
-
-    def __init__(self) -> None:
-        self.graph: "DynamicGraph | None" = None
-
-    def register(self, graph: "DynamicGraph") -> None:
-        self.graph = graph
-
-    def init_state(self, block: VertexBlock) -> None:
-        raise NotImplementedError
-
-    def on_edge_inserted(self, ctx: ActionContext, block: VertexBlock, slot: EdgeSlot) -> None:
-        """Query algorithms do nothing during streaming by default."""
-        return None
-
-    def run(self, graph: "DynamicGraph", **kwargs) -> "RunResult":
-        """Launch the query diffusion and run the chip until it terminates."""
-        raise NotImplementedError
-
-    def results(self, graph: "DynamicGraph") -> Dict[Any, Any]:
-        raise NotImplementedError
-
-    def reference(self, nx_graph: "nx.DiGraph | nx.Graph", **kwargs) -> Dict[Any, Any]:
-        raise NotImplementedError
+#: Deprecated aliases kept for external subclasses of the pre-registry
+#: two-class API.  Both flavours are now capability flags on one contract.
+StreamingAlgorithm = Algorithm
+QueryAlgorithm = Algorithm

@@ -22,7 +22,8 @@ from typing import Dict, Optional, TYPE_CHECKING
 
 import networkx as nx
 
-from repro.algorithms.base import StreamingAlgorithm
+from repro.algorithms.base import Algorithm
+from repro.algorithms.registry import register_algorithm
 from repro.graph.rpvo import EdgeSlot, INFINITY, VertexBlock
 from repro.runtime.actions import ActionContext, action_cost
 
@@ -39,10 +40,10 @@ if TYPE_CHECKING:  # pragma: no cover
 BFS_ACTION = "bfs-action"
 
 
-class StreamingBFS(StreamingAlgorithm):
+@register_algorithm("bfs", streaming=True, needs_root=True)
+class StreamingBFS(Algorithm):
     """Incremental BFS levels maintained under streaming edge insertions."""
 
-    name = "bfs"
     state_key = "level"
 
     def __init__(self, root: Optional[int] = None) -> None:
@@ -53,8 +54,8 @@ class StreamingBFS(StreamingAlgorithm):
         self.stale_messages = 0
 
     # ------------------------------------------------------------------
-    def register(self, graph: "DynamicGraph") -> None:
-        super().register(graph)
+    def attach(self, graph: "DynamicGraph") -> None:
+        super().attach(graph)
         graph.device.register_action(BFS_ACTION, self.bfs_action, size_words=3)
 
     def init_state(self, block: VertexBlock) -> None:
@@ -129,3 +130,7 @@ class StreamingBFS(StreamingAlgorithm):
         if root not in nx_graph:
             return {}
         return dict(nx.single_source_shortest_path_length(nx_graph, root))
+
+    def summarize(self, results: Dict[int, int]) -> Dict[str, int]:
+        """Record metrics: how many vertices the BFS reached."""
+        return {"reached": len(results)}

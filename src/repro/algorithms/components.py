@@ -14,7 +14,8 @@ from typing import Dict, TYPE_CHECKING
 
 import networkx as nx
 
-from repro.algorithms.base import StreamingAlgorithm
+from repro.algorithms.base import Algorithm
+from repro.algorithms.registry import register_algorithm
 from repro.graph.rpvo import EdgeSlot, VertexBlock
 from repro.runtime.actions import ActionContext, action_cost
 
@@ -24,10 +25,10 @@ if TYPE_CHECKING:  # pragma: no cover
 CC_ACTION = "cc-action"
 
 
-class StreamingConnectedComponents(StreamingAlgorithm):
+@register_algorithm("components", streaming=True, symmetric_only=True)
+class StreamingConnectedComponents(Algorithm):
     """Incremental connected-component labels under edge insertions."""
 
-    name = "components"
     state_key = "comp"
 
     def __init__(self) -> None:
@@ -36,8 +37,8 @@ class StreamingConnectedComponents(StreamingAlgorithm):
         self.stale_messages = 0
 
     # ------------------------------------------------------------------
-    def register(self, graph: "DynamicGraph") -> None:
-        super().register(graph)
+    def attach(self, graph: "DynamicGraph") -> None:
+        super().attach(graph)
         graph.device.register_action(CC_ACTION, self.cc_action, size_words=3)
 
     def init_state(self, block: VertexBlock) -> None:
@@ -81,3 +82,7 @@ class StreamingConnectedComponents(StreamingAlgorithm):
             for vid in component:
                 labels[vid] = smallest
         return labels
+
+    def summarize(self, results: Dict[int, int]) -> Dict[str, int]:
+        """Record metrics: how many distinct components remain."""
+        return {"components": len(set(results.values()))}

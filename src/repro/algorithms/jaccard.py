@@ -17,7 +17,8 @@ from typing import Dict, Tuple, TYPE_CHECKING
 
 import networkx as nx
 
-from repro.algorithms.base import QueryAlgorithm
+from repro.algorithms.base import Algorithm
+from repro.algorithms.registry import register_algorithm
 from repro.graph.rpvo import VertexBlock
 from repro.runtime.actions import ActionContext, action_cost
 from repro.runtime.terminator import Terminator
@@ -30,10 +31,11 @@ JACCARD_START_ACTION = "jaccard-start-action"
 JACCARD_PROBE_ACTION = "jaccard-probe-action"
 
 
-class JaccardCoefficient(QueryAlgorithm):
+@register_algorithm("jaccard", query=True, symmetric_only=True,
+                    result_arity="pair")
+class JaccardCoefficient(Algorithm):
     """Per-edge Jaccard similarity of the currently ingested graph."""
 
-    name = "jaccard"
     state_key = "jaccard"
 
     def __init__(self) -> None:
@@ -41,8 +43,8 @@ class JaccardCoefficient(QueryAlgorithm):
         self.probes_sent = 0
 
     # ------------------------------------------------------------------
-    def register(self, graph: "DynamicGraph") -> None:
-        super().register(graph)
+    def attach(self, graph: "DynamicGraph") -> None:
+        super().attach(graph)
         graph.device.register_action(JACCARD_START_ACTION, self.start_action, size_words=2)
         graph.device.register_action(JACCARD_PROBE_ACTION, self.probe_action, size_words=4)
 
@@ -100,7 +102,8 @@ class JaccardCoefficient(QueryAlgorithm):
             out.update(graph.vertex_state(vid, self.state_key, {}))
         return out
 
-    def reference(self, nx_graph: "nx.DiGraph | nx.Graph", **_: object) -> Dict[Tuple[int, int], float]:
+    def reference(self, nx_graph: "nx.DiGraph | nx.Graph",
+                  **_: object) -> Dict[Tuple[int, int], float]:
         """NetworkX ground truth over the undirected simple graph."""
         undirected = nx.Graph(nx_graph.to_undirected() if nx_graph.is_directed() else nx_graph)
         undirected.remove_edges_from(nx.selfloop_edges(undirected))
@@ -109,3 +112,15 @@ class JaccardCoefficient(QueryAlgorithm):
         for u, v, value in nx.jaccard_coefficient(undirected, pairs):
             out[(min(u, v), max(u, v))] = value
         return out
+
+    def verify(self, results: Dict[Tuple[int, int], float],
+               reference: Dict[Tuple[int, int], float]) -> bool:
+        """Same pair set, coefficients equal up to float tolerance."""
+        if set(results) != set(reference):
+            return False
+        return all(abs(results[k] - reference[k]) < 1e-9 for k in results)
+
+    def summarize(self, results: Dict[Tuple[int, int], float]) -> Dict[str, float]:
+        """Record metrics: pair coverage and the strongest similarity."""
+        top = round(max(results.values()), 9) if results else 0.0
+        return {"pairs": len(results), "max_coefficient": top}

@@ -1,0 +1,229 @@
+"""Auto-registration registry for the algorithm zoo.
+
+Every algorithm in :mod:`repro.algorithms` registers itself with the
+:func:`register_algorithm` decorator, declaring its **capabilities as
+data** — whether it maintains its result while edges stream
+(``streaming``), whether it runs a post-stream query diffusion
+(``query``), whether it needs a root/source vertex, whether it only makes
+sense on a symmetrised edge set, whether it tolerates per-increment cycle
+truncation, and the arity of its result mapping.  The harness, the
+fuzzer, the suite registry and the CLI all enumerate algorithms *only*
+through this module, so adding a workload is a one-file change::
+
+    @register_algorithm("kcore", query=True, symmetric_only=True)
+    class KCoreDecomposition(Algorithm):
+        ...
+
+Modules in this package are discovered automatically
+(:func:`discover` imports every sibling module once), so a new
+``src/repro/algorithms/<name>.py`` file joins ``repro algos list``, the
+``algorithms`` suite and the fuzzer's algorithm axis without touching any
+other layer.
+
+``ingest`` — streaming edges with no algorithm attached (the paper's
+"Streaming Edges" configuration) — is registered here as a pseudo-entry
+with no class: :meth:`AlgorithmInfo.instantiate` returns ``None`` for it,
+matching what the runner expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Modules in this package that hold no registered algorithm.
+_NON_ALGORITHM_MODULES = ("base", "registry")
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What one algorithm can do, declared as plain data.
+
+    ``streaming``
+        Maintains its result incrementally via ``on_edge_inserted`` while
+        edges stream in (BFS, SSSP, components; PageRank-delta keeps its
+        residuals warm this way too).
+    ``query``
+        Runs a post-stream diffusion (``run``) over the ingested graph.
+        The query's terminator counts its own sent-vs-completed messages,
+        so it requires fully drained increments — which is why
+        ``supports_truncation`` defaults to the negation of this flag.
+    ``needs_root``
+        Takes a root/source vertex (constructed with ``root=`` and seeded
+        host-side before streaming).
+    ``symmetric_only``
+        Only meaningful on an undirected (symmetrised) edge set; the
+        fuzzer forces ``symmetric=True`` for these.
+    ``supports_truncation``
+        May be combined with ``max_cycles_per_increment``.  Rejected at
+        :class:`~repro.harness.scenario.Scenario` construction otherwise
+        (found by ``repro fuzz run``, see tests/corpus/).
+    ``result_arity``
+        Shape of the ``results()`` mapping: ``"vertex"`` (vertex id →
+        value), ``"pair"`` (edge key → value), ``"aggregate"`` (named
+        totals) or ``"none"`` (ingest).
+    """
+
+    streaming: bool = False
+    query: bool = False
+    needs_root: bool = False
+    symmetric_only: bool = False
+    supports_truncation: bool = True
+    result_arity: str = "vertex"
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """One registry entry: name, implementing class, capabilities, summary."""
+
+    name: str
+    cls: Optional[type]
+    caps: Capabilities
+    summary: str = ""
+
+    def instantiate(self, *, root: int = 0):
+        """Build a fresh algorithm instance (``None`` for ``ingest``)."""
+        if self.cls is None:
+            return None
+        if self.caps.needs_root:
+            return self.cls(root=root)
+        return self.cls()
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form (used by ``repro algos list --json``)."""
+        return {
+            "name": self.name,
+            "class": self.cls.__name__ if self.cls is not None else None,
+            "module": self.cls.__module__ if self.cls is not None else None,
+            "streaming": self.caps.streaming,
+            "query": self.caps.query,
+            "needs_root": self.caps.needs_root,
+            "symmetric_only": self.caps.symmetric_only,
+            "supports_truncation": self.caps.supports_truncation,
+            "result_arity": self.caps.result_arity,
+            "summary": self.summary,
+        }
+
+
+_REGISTRY: "Dict[str, AlgorithmInfo]" = {}
+_DISCOVERED = False
+
+
+def _summary_of(cls: type) -> str:
+    doc = (cls.__doc__ or "").strip()
+    return doc.splitlines()[0].strip() if doc else ""
+
+
+def register_algorithm(
+    name: str,
+    *,
+    streaming: bool = False,
+    query: bool = False,
+    needs_root: bool = False,
+    symmetric_only: bool = False,
+    supports_truncation: Optional[bool] = None,
+    result_arity: str = "vertex",
+):
+    """Class decorator: register an :class:`Algorithm` under ``name``.
+
+    Capabilities are declared right here, at the registration site;
+    ``supports_truncation`` defaults to ``not query`` (a query phase
+    requires fully drained increments).  The decorator stamps ``name``
+    and a frozen :class:`Capabilities` onto the class (``cls.caps``) and
+    records an :class:`AlgorithmInfo` in the registry.
+    """
+    caps = Capabilities(
+        streaming=streaming,
+        query=query,
+        needs_root=needs_root,
+        symmetric_only=symmetric_only,
+        supports_truncation=(not query if supports_truncation is None
+                             else supports_truncation),
+        result_arity=result_arity,
+    )
+
+    def decorate(cls: type) -> type:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing.cls is not None and not (
+            existing.cls.__module__ == cls.__module__
+            and existing.cls.__qualname__ == cls.__qualname__
+        ):
+            raise ValueError(
+                f"algorithm name {name!r} already registered by "
+                f"{existing.cls.__module__}.{existing.cls.__qualname__}")
+        cls.name = name
+        cls.caps = caps
+        _REGISTRY[name] = AlgorithmInfo(
+            name=name, cls=cls, caps=caps, summary=_summary_of(cls))
+        return cls
+
+    return decorate
+
+
+def discover() -> None:
+    """Import every algorithm module in this package exactly once.
+
+    Modules are imported in sorted name order so registry enumeration
+    (and everything derived from it: suite scenario order, the fuzzer's
+    ``sampled_from`` axis, ``repro algos list``) is deterministic.
+    """
+    global _DISCOVERED
+    if _DISCOVERED:
+        return
+    _DISCOVERED = True
+    import importlib
+    import pkgutil
+
+    import repro.algorithms as pkg
+
+    for module in sorted(m.name for m in pkgutil.iter_modules(pkg.__path__)):
+        if module in _NON_ALGORITHM_MODULES:
+            continue
+        importlib.import_module(f"repro.algorithms.{module}")
+
+
+def get_algorithm(name: str) -> AlgorithmInfo:
+    """Look up one registry entry; raises ``ValueError`` for unknown names."""
+    discover()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r}; expected one of {algorithm_names()}"
+        ) from None
+
+
+def algorithm_names() -> Tuple[str, ...]:
+    """Every registered algorithm name (``ingest`` first, then discovery order)."""
+    discover()
+    return tuple(_REGISTRY)
+
+
+def algorithm_infos() -> Tuple[AlgorithmInfo, ...]:
+    """Every registry entry, in :func:`algorithm_names` order."""
+    discover()
+    return tuple(_REGISTRY.values())
+
+
+def streaming_algorithm_names() -> Tuple[str, ...]:
+    return tuple(i.name for i in algorithm_infos() if i.caps.streaming)
+
+
+def query_algorithm_names() -> Tuple[str, ...]:
+    return tuple(i.name for i in algorithm_infos() if i.caps.query)
+
+
+def symmetric_algorithm_names() -> Tuple[str, ...]:
+    return tuple(i.name for i in algorithm_infos() if i.caps.symmetric_only)
+
+
+# ``ingest`` is a capability-free pseudo-algorithm: edges stream with no
+# algorithm object attached.  Registered eagerly so the entry exists (and
+# sorts first) before any sibling module is discovered.
+_REGISTRY["ingest"] = AlgorithmInfo(
+    name="ingest",
+    cls=None,
+    caps=Capabilities(result_arity="none"),
+    summary="Stream edges with no algorithm attached "
+            "(the paper's Streaming Edges configuration).",
+)

@@ -13,7 +13,8 @@ from typing import Dict, Optional, TYPE_CHECKING
 
 import networkx as nx
 
-from repro.algorithms.base import StreamingAlgorithm
+from repro.algorithms.base import Algorithm
+from repro.algorithms.registry import register_algorithm
 from repro.graph.rpvo import EdgeSlot, INFINITY, VertexBlock
 from repro.runtime.actions import ActionContext, action_cost
 
@@ -23,10 +24,10 @@ if TYPE_CHECKING:  # pragma: no cover
 SSSP_ACTION = "sssp-action"
 
 
-class StreamingSSSP(StreamingAlgorithm):
+@register_algorithm("sssp", streaming=True, needs_root=True)
+class StreamingSSSP(Algorithm):
     """Incremental weighted shortest-path distances under edge insertions."""
 
-    name = "sssp"
     state_key = "dist"
 
     def __init__(self, root: Optional[int] = None) -> None:
@@ -36,8 +37,8 @@ class StreamingSSSP(StreamingAlgorithm):
         self.stale_messages = 0
 
     # ------------------------------------------------------------------
-    def register(self, graph: "DynamicGraph") -> None:
-        super().register(graph)
+    def attach(self, graph: "DynamicGraph") -> None:
+        super().attach(graph)
         graph.device.register_action(SSSP_ACTION, self.sssp_action, size_words=3)
 
     def init_state(self, block: VertexBlock) -> None:
@@ -94,3 +95,7 @@ class StreamingSSSP(StreamingAlgorithm):
             return {}
         lengths = nx.single_source_dijkstra_path_length(nx_graph, root, weight="weight")
         return {v: int(d) for v, d in lengths.items()}
+
+    def summarize(self, results: Dict[int, int]) -> Dict[str, int]:
+        """Record metrics: how many vertices the SSSP reached."""
+        return {"reached": len(results)}

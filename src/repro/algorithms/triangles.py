@@ -24,7 +24,8 @@ from typing import Dict, TYPE_CHECKING
 
 import networkx as nx
 
-from repro.algorithms.base import QueryAlgorithm
+from repro.algorithms.base import Algorithm
+from repro.algorithms.registry import register_algorithm
 from repro.graph.rpvo import VertexBlock
 from repro.runtime.actions import ActionContext, action_cost
 from repro.runtime.terminator import Terminator
@@ -37,10 +38,11 @@ TC_START_ACTION = "tc-start-action"
 TC_PROBE_ACTION = "tc-probe-action"
 
 
-class TriangleCounting(QueryAlgorithm):
+@register_algorithm("triangles", query=True, symmetric_only=True,
+                    result_arity="aggregate")
+class TriangleCounting(Algorithm):
     """Exact triangle count of the currently ingested (undirected) graph."""
 
-    name = "triangles"
     state_key = "triangles"
 
     def __init__(self) -> None:
@@ -48,8 +50,8 @@ class TriangleCounting(QueryAlgorithm):
         self.probes_sent = 0
 
     # ------------------------------------------------------------------
-    def register(self, graph: "DynamicGraph") -> None:
-        super().register(graph)
+    def attach(self, graph: "DynamicGraph") -> None:
+        super().attach(graph)
         graph.device.register_action(TC_START_ACTION, self.start_action, size_words=2)
         graph.device.register_action(TC_PROBE_ACTION, self.probe_action, size_words=4)
 
@@ -116,3 +118,12 @@ class TriangleCounting(QueryAlgorithm):
         undirected.remove_edges_from(nx.selfloop_edges(undirected))
         per_vertex = nx.triangles(undirected)
         return {"total": sum(per_vertex.values()) // 3, "per_vertex": dict(per_vertex)}
+
+    def verify(self, results: Dict[str, int], reference: Dict[str, int]) -> bool:
+        """The total must match exactly; per-vertex counts differ in *where*
+        a triangle is attributed (the chip counts at the middle vertex)."""
+        return int(results["total"]) == int(reference["total"])
+
+    def summarize(self, results: Dict[str, int]) -> Dict[str, int]:
+        """Record metrics: the exact triangle total."""
+        return {"triangles": int(results["total"])}

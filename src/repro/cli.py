@@ -172,6 +172,32 @@ def cmd_suite_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_algos_list(args: argparse.Namespace) -> int:
+    """List the algorithm registry: names, capabilities, one-line summaries."""
+    from repro.algorithms.registry import algorithm_infos
+
+    infos = algorithm_infos()
+    if args.json:
+        print(json.dumps([info.as_dict() for info in infos], indent=2))
+        return 0
+    name_width = max(len(info.name) for info in infos)
+    for info in infos:
+        flags = []
+        if info.caps.streaming:
+            flags.append("streaming")
+        if info.caps.query:
+            flags.append("query")
+        if info.caps.needs_root:
+            flags.append("needs-root")
+        if info.caps.symmetric_only:
+            flags.append("symmetric-only")
+        if not info.caps.supports_truncation:
+            flags.append("no-truncation")
+        caps = ",".join(flags) if flags else "-"
+        print(f"{info.name:<{name_width}}  [{caps}]  {info.summary}")
+    return 0
+
+
 def _write_metrics(registry, path: str) -> None:
     """Write a metrics registry: Prometheus text unless the path ends .json."""
     out = Path(path)
@@ -854,6 +880,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff.add_argument("store_a", help="baseline JSONL store")
     p_diff.add_argument("store_b", help="comparison JSONL store")
     p_diff.set_defaults(func=cmd_suite_diff)
+
+    p_algos = sub.add_parser(
+        "algos", help="inspect the algorithm registry")
+    algos_sub = p_algos.add_subparsers(dest="algos_command", required=True)
+    p_algos_list = algos_sub.add_parser(
+        "list", help="list registered algorithms with their capabilities")
+    p_algos_list.add_argument("--json", action="store_true",
+                              help="emit the registry as JSON")
+    p_algos_list.set_defaults(func=cmd_algos_list)
 
     p_store = sub.add_parser(
         "store", help="result-store lifecycle (compaction, garbage collection)"

@@ -29,13 +29,13 @@ still exhibit the divergence.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from hypothesis import strategies as st
 
 from repro._compat import HAVE_NUMPY
+from repro.algorithms.registry import algorithm_infos
 from repro.harness.scenario import (
-    ALGORITHMS,
-    QUERY_ALGORITHMS,
-    SYMMETRIC_ALGORITHMS,
     ChipSpec,
     DatasetSpec,
     RunOptions,
@@ -91,24 +91,21 @@ def chip_specs(draw, numpy_ok: bool = None) -> ChipSpec:
 def scenarios(draw, numpy_ok: bool = None) -> Scenario:
     """A valid random :class:`Scenario` covering the whole contract space.
 
-    Algorithms needing an undirected edge set get ``symmetric=True``
-    forced; BFS/SSSP roots stay inside the vertex range by construction.
-    The scenario name is fixed (names are spec-hash salt, not behaviour),
-    so shrinking never wanders through cosmetic axes.
+    The algorithm axis enumerates the registry, so a newly registered
+    workload is fuzzed automatically; its declared capabilities steer the
+    draw (``symmetric_only`` forces ``symmetric=True``, algorithms that
+    don't support truncation never draw a cycle budget).  The scenario
+    name is fixed (names are spec-hash salt, not behaviour), so shrinking
+    never wanders through cosmetic axes.
     """
     dataset = draw(dataset_specs(numpy_ok=numpy_ok))
-    algorithm = draw(st.sampled_from(ALGORITHMS))
-    if algorithm in SYMMETRIC_ALGORITHMS and not dataset.symmetric:
-        dataset = DatasetSpec(
-            vertices=dataset.vertices, edges=dataset.edges,
-            sampling=dataset.sampling,
-            num_increments=dataset.num_increments,
-            symmetric=True, weighted=dataset.weighted,
-            seed=dataset.seed, generator=dataset.generator,
-        )
+    info = draw(st.sampled_from(algorithm_infos()))
+    algorithm = info.name
+    if info.caps.symmetric_only and not dataset.symmetric:
+        dataset = replace(dataset, symmetric=True)
     # Scenario itself rejects truncation + query-phase algorithms
     # (ValueError), so the strategy never draws the combination.
-    truncation = (None if algorithm in QUERY_ALGORITHMS
+    truncation = (None if not info.caps.supports_truncation
                   else draw(st.one_of(st.none(), st.integers(32, 96))))
     options = RunOptions(
         root=draw(st.integers(0, dataset.vertices - 1)),

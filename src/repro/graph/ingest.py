@@ -20,6 +20,7 @@ vertex's root block; the handler:
 
 from __future__ import annotations
 
+import copy
 from typing import TYPE_CHECKING
 
 from repro.arch.address import Address
@@ -123,8 +124,12 @@ class EdgeIngestor:
         depth = block.depth + 1
         # Snapshot of the parent's algorithm state: the new ghost block starts
         # from the vertex state known at allocation time and is kept up to
-        # date afterwards by the algorithm's ghost forwarding.
-        state_snapshot = dict(block.state)
+        # date afterwards by the algorithm's ghost forwarding.  Deep copy:
+        # nested containers (jaccard pair maps, kcore neighbour bounds) must
+        # not alias state the root block keeps mutating — a restored run
+        # rebuilds ghosts without the alias, and organic vs restored chip
+        # state must stay bit-identical.
+        state_snapshot = copy.deepcopy(block.state)
         capacity = graph.capacity
         ghost_slots = graph.ghost_slots
 

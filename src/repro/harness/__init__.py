@@ -78,8 +78,6 @@ from repro.harness.runner import (
     snapshot_at,
 )
 from repro.harness.scenario import (
-    ALGORITHMS,
-    QUERY_ALGORITHMS,
     ChipSpec,
     DatasetSpec,
     RunOptions,
@@ -91,6 +89,17 @@ from repro.harness.store import (
     diff_stores,
     record_identity,
 )
+
+
+def __getattr__(name: str):
+    # Deprecated aliases for the pre-1.4 hardcoded algorithm tuples; the
+    # scenario module forwards them to the algorithm registry (and emits
+    # the DeprecationWarning).
+    if name in ("ALGORITHMS", "SYMMETRIC_ALGORITHMS", "QUERY_ALGORITHMS"):
+        from repro.harness import scenario
+
+        return getattr(scenario, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ALGORITHMS",

@@ -160,10 +160,16 @@ def _sampling_sweep() -> List[Scenario]:
 
 
 def _algorithm_sweep() -> List[Scenario]:
-    """All six algorithms (plus ingestion-only) on one symmetrised graph."""
+    """Every registered algorithm (plus ingestion-only) on one symmetrised graph.
+
+    Enumerates the algorithm registry, so a newly dropped-in workload file
+    appears in the ``algorithms`` suite (and in ``repro suite run``'s
+    reports) with no harness change.
+    """
+    from repro.algorithms.registry import algorithm_names
+
     scenarios = []
-    for algorithm in ("ingest", "bfs", "components", "sssp", "pagerank",
-                      "triangles", "jaccard"):
+    for algorithm in algorithm_names():
         dataset = DatasetSpec(
             vertices=120,
             edges=700,

@@ -50,14 +50,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import __version__
-from repro.algorithms import (
-    JaccardCoefficient,
-    PageRankDelta,
-    StreamingBFS,
-    StreamingConnectedComponents,
-    StreamingSSSP,
-    TriangleCounting,
-)
+from repro.algorithms.registry import get_algorithm
 from repro.datasets.streaming import StreamingDataset, make_streaming_dataset
 from repro.graph.graph import DynamicGraph
 from repro.graph.rpvo import Edge
@@ -94,45 +87,7 @@ def materialize_dataset(spec: DatasetSpec) -> StreamingDataset:
 
 def make_algorithm(scenario: Scenario):
     """Instantiate the algorithm object a scenario names (None for ingest)."""
-    kind = scenario.algorithm
-    root = scenario.options.root
-    if kind == "ingest":
-        return None
-    if kind == "bfs":
-        return StreamingBFS(root=root)
-    if kind == "sssp":
-        return StreamingSSSP(root=root)
-    if kind == "components":
-        return StreamingConnectedComponents()
-    if kind == "pagerank":
-        return PageRankDelta()
-    if kind == "triangles":
-        return TriangleCounting()
-    if kind == "jaccard":
-        return JaccardCoefficient()
-    raise ValueError(f"unknown algorithm {kind!r}")
-
-
-def _algorithm_metrics(kind: str, algorithm, graph: DynamicGraph) -> Dict[str, Any]:
-    """Small deterministic result summary, one shape per algorithm."""
-    if kind == "ingest" or algorithm is None:
-        return {}
-    results = algorithm.results(graph)
-    if kind in ("bfs", "sssp"):
-        return {"reached": len(results)}
-    if kind == "components":
-        return {"components": len(set(results.values()))}
-    if kind == "pagerank":
-        return {
-            "vertices_ranked": len(results),
-            "rank_mass": round(sum(results.values()), 9),
-        }
-    if kind == "triangles":
-        return {"triangles": int(results["total"])}
-    if kind == "jaccard":
-        top = round(max(results.values()), 9) if results else 0.0
-        return {"pairs": len(results), "max_coefficient": top}
-    return {}
+    return get_algorithm(scenario.algorithm).instantiate(root=scenario.options.root)
 
 
 # ----------------------------------------------------------------------
@@ -171,7 +126,7 @@ def _materialize(
     algorithm = make_algorithm(scenario)
     if algorithm is not None:
         graph.attach(algorithm)
-        if seed_algorithm and hasattr(algorithm, "seed"):
+        if seed_algorithm:
             algorithm.seed(graph, root=opts.root)
     return dataset, device, graph, algorithm
 
@@ -184,12 +139,14 @@ def _final_payload(
     algorithm,
 ) -> Dict[str, Any]:
     """End-of-run payload: query phase + statistics extraction."""
-    # Query algorithms (triangles, jaccard, pagerank-delta) diffuse over
-    # the ingested graph after streaming quiesces.
+    # Query algorithms (triangles, jaccard, kcore, ...) diffuse over the
+    # ingested graph after streaming quiesces; the base contract's ``run``
+    # is a no-op returning ``None`` for purely streaming algorithms.
     query_cycles = 0
-    if algorithm is not None and hasattr(algorithm, "run"):
+    if algorithm is not None:
         query_result = algorithm.run(graph)
-        query_cycles = query_result.cycles
+        if query_result is not None:
+            query_cycles = query_result.cycles
     stats = device.stats()
     energy = device.energy_report()
     ghosts = graph.ghost_report()
@@ -204,7 +161,8 @@ def _final_payload(
         "metrics": record_metrics(stats),
         "edges_stored": graph.total_edges_stored(),
         "ghost_blocks": ghosts["ghost_blocks"],
-        "algo_metrics": _algorithm_metrics(scenario.algorithm, algorithm, graph),
+        "algo_metrics": (algorithm.summarize(algorithm.results(graph))
+                         if algorithm is not None else {}),
     }
 
 

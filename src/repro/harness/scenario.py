@@ -22,29 +22,34 @@ from typing import Any, Dict, Optional, Tuple
 from repro import __version__
 from repro.arch.config import ChipConfig
 
-#: Algorithms the harness can run.  ``ingest`` streams edges with no
-#: algorithm attached (the paper's "Streaming Edges" configuration); the
-#: six named algorithms cover the paper's BFS plus its future-work set.
-ALGORITHMS: Tuple[str, ...] = (
-    "ingest",
-    "bfs",
-    "sssp",
-    "components",
-    "pagerank",
-    "triangles",
-    "jaccard",
-)
+# What the harness can run is no longer a hardcoded tuple: algorithms
+# self-register with repro.algorithms.registry and declare capabilities
+# (query phase, symmetry requirement, truncation support, ...) as data.
+# Scenario validation reads those capabilities.  The historic module
+# constants ALGORITHMS / SYMMETRIC_ALGORITHMS / QUERY_ALGORITHMS are kept
+# as registry-derived deprecated aliases via __getattr__ below.
+_DEPRECATED_CONSTANTS = ("ALGORITHMS", "SYMMETRIC_ALGORITHMS", "QUERY_ALGORITHMS")
 
-#: Algorithms that operate on an undirected (symmetrised) edge set.
-SYMMETRIC_ALGORITHMS: Tuple[str, ...] = ("components", "triangles", "jaccard")
 
-#: Algorithms with a post-stream query phase (``algorithm.run`` on the
-#: device).  The query's terminator counts its own sent-vs-completed
-#: messages, so it requires the streaming phase to have fully drained —
-#: combining these with ``max_cycles_per_increment`` (which can leave
-#: streaming messages in flight) is rejected at construction.  Found by
-#: ``repro fuzz run`` (see tests/corpus/).
-QUERY_ALGORITHMS: Tuple[str, ...] = ("pagerank", "triangles", "jaccard")
+def __getattr__(name: str) -> Tuple[str, ...]:
+    if name in _DEPRECATED_CONSTANTS:
+        import warnings
+
+        from repro.algorithms import registry
+
+        warnings.warn(
+            f"repro.harness.scenario.{name} is deprecated; enumerate "
+            "repro.algorithms.registry (algorithm_names(), "
+            "symmetric_algorithm_names(), query_algorithm_names()) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if name == "ALGORITHMS":
+            return tuple(registry.algorithm_names())
+        if name == "SYMMETRIC_ALGORITHMS":
+            return tuple(registry.symmetric_algorithm_names())
+        return tuple(registry.query_algorithm_names())
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -158,11 +163,21 @@ class Scenario:
     options: RunOptions = field(default_factory=RunOptions)
 
     def __post_init__(self) -> None:
-        if self.algorithm not in ALGORITHMS:
+        from repro.algorithms import registry
+
+        try:
+            info = registry.get_algorithm(self.algorithm)
+        except ValueError:
             raise ValueError(
-                f"unknown algorithm {self.algorithm!r}; expected one of {ALGORITHMS}"
-            )
-        if (self.algorithm in QUERY_ALGORITHMS
+                f"unknown algorithm {self.algorithm!r}; expected one of "
+                f"{tuple(registry.algorithm_names())}"
+            ) from None
+        # A post-stream query phase's terminator counts its own sent-vs-
+        # completed messages, so it requires fully drained increments —
+        # combining it with max_cycles_per_increment (which can leave
+        # streaming messages in flight) is rejected at construction.
+        # Found by ``repro fuzz run`` (see tests/corpus/).
+        if (not info.caps.supports_truncation
                 and self.options.max_cycles_per_increment is not None):
             raise ValueError(
                 f"{self.algorithm!r} runs a post-stream query phase, which "

@@ -27,6 +27,32 @@ class TestParser:
             build_parser().parse_args(["table1", "--scale", "galactic"])
 
 
+class TestAlgosList:
+    def test_lists_every_registered_algorithm(self, capsys):
+        from repro.algorithms.registry import algorithm_names
+
+        assert main(["algos", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in algorithm_names():
+            assert name in out
+        assert "symmetric-only" in out and "needs-root" in out
+
+    def test_json_output_round_trips(self, capsys):
+        import json
+
+        from repro.algorithms.registry import algorithm_names
+
+        assert main(["algos", "list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert [e["name"] for e in entries] == list(algorithm_names())
+        kcore = next(e for e in entries if e["name"] == "kcore")
+        assert kcore["query"] and kcore["symmetric_only"]
+        assert not kcore["supports_truncation"]
+        assert kcore["class"] == "KCoreDecomposition"
+        ingest = next(e for e in entries if e["name"] == "ingest")
+        assert ingest["class"] is None
+
+
 class TestCommands:
     @requires_numpy
     def test_table1(self, capsys):

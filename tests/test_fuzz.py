@@ -30,12 +30,15 @@ from repro.fuzz import (
     fingerprint_record,
     first_divergence,
 )
+from repro.algorithms.registry import (
+    algorithm_names,
+    query_algorithm_names,
+    symmetric_algorithm_names,
+)
 from repro.fuzz.campaign import FUZZ_PROFILES, run_campaign
 from repro.fuzz.strategies import scenarios
 from repro.harness.runner import run_scenario
 from repro.harness.scenario import (
-    QUERY_ALGORITHMS,
-    SYMMETRIC_ALGORITHMS,
     ChipSpec,
     DatasetSpec,
     RunOptions,
@@ -65,9 +68,9 @@ TINY = settings(max_examples=15, deadline=None,
 def test_strategy_generates_valid_scenarios(scenario):
     assert isinstance(scenario, Scenario)
     assert 0 <= scenario.options.root < scenario.dataset.vertices
-    if scenario.algorithm in SYMMETRIC_ALGORITHMS:
+    if scenario.algorithm in symmetric_algorithm_names():
         assert scenario.dataset.symmetric
-    if scenario.algorithm in QUERY_ALGORITHMS:
+    if scenario.algorithm in query_algorithm_names():
         assert scenario.options.max_cycles_per_increment is None
     # The spec serialises, hashes, and round-trips through from_dict.
     rebuilt = Scenario.from_dict(json.loads(
@@ -80,6 +83,22 @@ def test_strategy_generates_valid_scenarios(scenario):
 def test_strategy_numpy_free_space(scenario):
     assert scenario.dataset.generator == "uniform"
     assert scenario.chip.kernel != "numpy"
+
+
+def test_strategy_covers_newly_registered_algorithms():
+    # The algorithm axis is drawn from the registry, so drop-in workloads
+    # (kcore, labelprop) are fuzzed without touching the strategy module.
+    from hypothesis import find
+
+    assert {"kcore", "labelprop"} <= set(algorithm_names())
+    for name in ("kcore", "labelprop"):
+        found = find(scenarios(numpy_ok=False),
+                     lambda s, name=name: s.algorithm == name,
+                     settings=settings(max_examples=2000, deadline=None,
+                                       suppress_health_check=HYPOTHESIS_SUPPRESS))
+        assert found.algorithm == name
+        assert found.dataset.symmetric  # capability-forced axis
+        assert found.options.max_cycles_per_increment is None
 
 
 # ----------------------------------------------------------------------

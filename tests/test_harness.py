@@ -18,7 +18,8 @@ from repro.harness import (
     run_suite,
     table2_rows_from_records,
 )
-from repro.harness.scenario import ALGORITHMS, RunOptions
+from repro.algorithms.registry import algorithm_names
+from repro.harness.scenario import RunOptions
 
 from helpers import requires_numpy
 
@@ -109,7 +110,14 @@ class TestScenarioSpec:
     def test_algorithm_list_matches_registry_usage(self):
         for suite in list_suites():
             for scenario in get_suite(suite.name):
-                assert scenario.algorithm in ALGORITHMS
+                assert scenario.algorithm in algorithm_names()
+
+    def test_algorithms_suite_covers_whole_registry(self):
+        # The algorithms sweep enumerates the registry, so a drop-in
+        # workload file gets a suite scenario with no harness change.
+        names = {s.algorithm for s in get_suite("algorithms")}
+        assert names == set(algorithm_names())
+        assert {"kcore", "labelprop"} <= names
 
 
 class TestRegistry:
