@@ -52,7 +52,11 @@ from repro.datasets import make_streaming_dataset, paper_dataset_configs
 # 1.4.0: uniform Algorithm contract + auto-registration registry, plus two
 # new registered workloads (kcore, labelprop).  Existing schedules and
 # record shapes are unchanged; the bump marks the API generation.
-__version__ = "1.4.0"
+# 1.5.0: optional native (C) sweep kernel tier — schedules are bit-identical
+# by contract — and records gained ghost_distance / ghost_max_depth (the
+# allocator-comparison suite's metrics), so the bump invalidates caches to
+# keep every stored record shape-uniform.
+__version__ = "1.5.0"
 
 __all__ = [
     "ChipConfig",

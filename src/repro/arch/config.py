@@ -47,11 +47,14 @@ class ChipConfig:
         message.  Larger payloads are charged extra hops by the NoC.
     kernel:
         Implementation of the NoC hot loop: ``"python"`` (pure-Python sweep),
-        ``"numpy"`` (vectorised array kernel, requires numpy) or ``"auto"``
-        (numpy when importable, honouring the ``REPRO_KERNEL`` environment
-        variable; pure Python otherwise).  The kernel is a *speed* knob only:
-        every kernel produces the bit-identical deterministic schedule, so it
-        is not part of any experiment's identity (see docs/architecture.md).
+        ``"numpy"`` (vectorised array kernel, requires numpy), ``"native"``
+        (self-built C sweep, requires the compiled ``[native]`` extension;
+        falls back to python with a warning when it is not built) or
+        ``"auto"`` (native when built, then numpy when importable, honouring
+        the ``REPRO_KERNEL`` environment variable; pure Python otherwise).
+        The kernel is a *speed* knob only: every kernel produces the
+        bit-identical deterministic schedule, so it is not part of any
+        experiment's identity (see docs/architecture.md).
     """
 
     width: int = 32
@@ -76,7 +79,7 @@ class ChipConfig:
             raise ValueError(f"unknown routing policy {self.routing!r}")
         if self.fidelity not in ("cycle", "latency", "cycle-ref"):
             raise ValueError(f"unknown NoC fidelity {self.fidelity!r}")
-        if self.kernel not in ("auto", "python", "numpy"):
+        if self.kernel not in ("auto", "python", "numpy", "native"):
             raise ValueError(f"unknown kernel {self.kernel!r}")
         bad = set(self.io_sides) - {"west", "east", "north", "south"}
         if bad:

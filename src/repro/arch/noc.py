@@ -619,10 +619,16 @@ def build_noc(config: ChipConfig, stats: SimStats, routing: RoutingPolicy | None
     routing = routing or make_routing(config)
     if config.fidelity == "cycle-ref":
         return ReferenceCycleAccurateNoC(config, routing, stats)
-    from repro.arch.kernels import NumpyCycleAccurateNoC, resolve_kernel
+    from repro.arch.kernels import (
+        NativeCycleAccurateNoC,
+        NumpyCycleAccurateNoC,
+        resolve_kernel,
+    )
 
     kernel = resolve_kernel(config)
     if config.fidelity == "cycle":
+        if kernel == "native":
+            return NativeCycleAccurateNoC(config, routing, stats)
         if kernel == "numpy":
             return NumpyCycleAccurateNoC(config, routing, stats)
         return CycleAccurateNoC(config, routing, stats)

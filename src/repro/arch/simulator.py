@@ -19,8 +19,10 @@ about actions, vertices or graphs.
 from __future__ import annotations
 
 import time
+from array import array
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.arch._native import _sweep as _native_sweep
 from repro.arch.cell import ComputeCell, Task
 from repro.arch.config import ChipConfig
 from repro.arch.energy import EnergyModel, EnergyReport, estimate_energy
@@ -91,7 +93,10 @@ class Simulator:
         #: documented part of the deterministic schedule instead of an
         #: artefact of hash-set iteration order.
         self._active_cells: List[int] = []
-        self._cell_stamp: List[int] = [0] * config.num_cells
+        #: array('q') rather than a list so the native kernel's C cell loop
+        #: can stamp through the buffer protocol; Python indexing semantics
+        #: are unchanged.
+        self._cell_stamp = array("q", bytes(8 * config.num_cells))
         self._cell_sweep = 1
         #: scratch buffers reused across step() calls so the hot loop does
         #: not allocate fresh containers every simulated cycle; the
@@ -124,6 +129,15 @@ class Simulator:
         self.cycle_skip = True
         #: hooks run at the end of every cycle (used by terminators/monitors).
         self._cycle_hooks: List[Callable[[int], None]] = []
+        #: Native (C) dispatch/burn loops: enabled when the resolved kernel
+        #: is the native tier (the NoC advertises ``native_sweep``) and the
+        #: extension is importable.  The C loops mirror step() phases 3-4
+        #: verbatim, so the deterministic schedule is bit-identical; step()
+        #: additionally requires the executor fast path and tracing off
+        #: before taking them (checked per cycle, since tests flip both).
+        self._native_cells = (
+            _native_sweep is not None
+            and getattr(self.noc, "native_sweep", False))
 
     # ------------------------------------------------------------------
     # Wiring
@@ -306,7 +320,16 @@ class Simulator:
         active_cells = self._active_cells
         cell_stamp = self._cell_stamp
         sweep = self._cell_sweep
-        if executor is not None:
+        # The native C loops cover the executor fast path only; tracing
+        # needs the per-cycle active id list the C burn loop does not build.
+        native = (self._native_cells and executor is not None
+                  and not self._trace_enabled)
+        if native:
+            if delivered:
+                _native_sweep.dispatch_arrivals(
+                    delivered, cells, parked, cell_stamp, active_cells,
+                    sweep)
+        elif executor is not None:
             for msg in delivered:
                 dst = msg.dst
                 cells[dst].task_queue.append(msg)
@@ -344,6 +367,39 @@ class Simulator:
         still_active_append = still_active.append
         fast_park = self._fast_park
         sweep = self._cell_sweep = self._cell_sweep + 1
+        if native:
+            # C inline of the loop below (same semantics, checked by the
+            # kernel-equivalence tests): returns the work flag, the count
+            # of cells that executed this cycle and the number of cells
+            # newly parked, instead of materialising active_this_cycle.
+            did2, active_count, parked_delta = _native_sweep.burn_cells(
+                active_cells, still_active, cells, cell_stamp, parked,
+                self._wake_buckets, noc_inject, executor, Message,
+                release_message, cycle, sweep, 1 if fast_park else 0,
+                noc)
+            did_work = did_work or bool(did2)
+            self._parked_count += parked_delta
+            self._active_cells, self._still_active_scratch = (
+                still_active, self._active_cells,
+            )
+            if timers is not None:
+                _now = _pc()
+                timers["cells"] += _now - _t
+                _t = _now
+            stats = self.stats
+            stats.cycles += 1
+            stats.active_cells_per_cycle.append(
+                active_count + parked_this_cycle)
+            stats.messages_in_flight_per_cycle.append(noc.in_flight)
+            ndelivered = len(delivered)
+            stats.deliveries_per_cycle.append(ndelivered)
+            stats.messages_delivered += ndelivered
+            for hook in self._cycle_hooks:
+                hook(cycle)
+            if timers is not None:
+                timers["account"] += _pc() - _t
+            self.cycle += 1
+            return did_work
         for cc_id in active_cells:
             cell_stamp[cc_id] = sweep
             if parked[cc_id]:

@@ -549,6 +549,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+
+    if args.ab:
+        return _bench_ab(args, scenarios)
+
     # --profile wraps the whole bench (its numbers describe the profiled
     # process, so do not compare them against an unprofiled baseline);
     # --trace adds one extra *untimed* traced rep per workload, keeping
@@ -597,6 +601,67 @@ def cmd_bench(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     print("\nbench comparison passed")
+    return 0
+
+
+def _bench_ab(args: argparse.Namespace, scenarios) -> int:
+    """``repro bench --ab K1,K2``: interleaved kernel comparison."""
+    from repro.analysis.tables import render_table
+    from repro.harness.bench import ab_payload, run_bench_ab, write_bench
+
+    if args.baseline is not None:
+        print("--ab and --baseline are mutually exclusive (the A/B report "
+              "is its own comparison)", file=sys.stderr)
+        return 2
+    kernels = [k.strip() for k in args.ab.split(",") if k.strip()]
+    valid = ("python", "numpy", "native")
+    bad = [k for k in kernels if k not in valid]
+    if bad or len(kernels) < 2:
+        print(f"--ab needs >= 2 comma-separated kernels out of {valid}, "
+              f"got {args.ab!r}", file=sys.stderr)
+        return 2
+    if "native" in kernels:
+        from repro.arch._native import HAVE_NATIVE
+
+        if not HAVE_NATIVE:
+            print("--ab includes 'native' but the extension is not built; "
+                  "an A/B against the silent python fallback would be "
+                  "dishonest (pip install -e '.[native]' builds it)",
+                  file=sys.stderr)
+            return 2
+    if "numpy" in kernels:
+        from repro.arch.kernels import HAVE_NUMPY
+
+        if not HAVE_NUMPY:
+            print("--ab includes 'numpy' but numpy is not installed",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        results = run_bench_ab(scenarios, kernels, reps=args.reps,
+                               progress=lambda line: print(line, flush=True))
+    except RuntimeError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    base = kernels[0]
+    rows = []
+    for i, base_result in enumerate(results[base]):
+        row = {"Workload": base_result.name,
+               "Cycles": base_result.total_cycles}
+        for kernel in kernels:
+            row[f"{kernel} (cyc/s)"] = \
+                f"{results[kernel][i].median_cycles_per_sec:,.0f}"
+        for kernel in kernels[1:]:
+            row[f"{kernel} speedup"] = (
+                f"{results[kernel][i].median_cycles_per_sec / results[base][i].median_cycles_per_sec:.2f}x")
+        rows.append(row)
+    print()
+    print(render_table(rows))
+    if args.json:
+        payload = ab_payload(results, tag=args.tag, suite=args.suite,
+                             reps=args.reps)
+        path = write_bench(args.json, payload)
+        print(f"\nwrote {path}")
     return 0
 
 
@@ -850,7 +915,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--expect-cached", action="store_true",
                        help="fail (exit 1) if any scenario would be computed "
                             "instead of served from the store")
-    p_run.add_argument("--kernel", choices=("auto", "python", "numpy"),
+    p_run.add_argument("--kernel", choices=("auto", "python", "numpy", "native"),
                        default=None,
                        help="pin the NoC kernel for every scenario (speed "
                             "knob only: schedules and cache keys are "
@@ -925,7 +990,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="capture after the K-th streamed increment")
     p_snap_save.add_argument("--out", required=True, metavar="PATH",
                              help="snapshot file to write")
-    p_snap_save.add_argument("--kernel", choices=("auto", "python", "numpy"),
+    p_snap_save.add_argument("--kernel", choices=("auto", "python", "numpy", "native"),
                              default=None, help="NoC kernel pin (speed only)")
     p_snap_save.set_defaults(func=cmd_snapshot_save)
     p_snap_info = snap_sub.add_parser(
@@ -948,7 +1013,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="write the resumed record into this "
                                      "JSONL result store")
     p_snap_restore.add_argument("--kernel",
-                                choices=("auto", "python", "numpy"),
+                                choices=("auto", "python", "numpy", "native"),
                                 default=None,
                                 help="NoC kernel pin (speed only)")
     p_snap_restore.set_defaults(func=cmd_snapshot_restore)
@@ -965,7 +1030,8 @@ def build_parser() -> argparse.ArgumentParser:
                                "(default: every stored record)")
     p_report.add_argument("--tables", nargs="+",
                           choices=("suite", "table1", "table2", "activation",
-                                   "ablation", "baselines", "fuzz"),
+                                   "ablation", "allocators", "baselines",
+                                   "fuzz"),
                           default=None,
                           help="report sections to print (default: all with data)")
     p_report.add_argument("--png", default=None, metavar="DIR",
@@ -989,11 +1055,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="compare against this bench JSON; exit 1 on regression")
     p_bench.add_argument("--tolerance", type=float, default=0.25,
                          help="tolerated relative cycles/sec drop (default 0.25)")
-    p_bench.add_argument("--kernel", choices=("auto", "python", "numpy"),
+    p_bench.add_argument("--kernel", choices=("auto", "python", "numpy", "native"),
                          default=None,
                          help="pin the NoC kernel for every workload "
                               "(cycle counts are kernel-independent, so the "
                               "delta is pure implementation speed)")
+    p_bench.add_argument("--ab", default=None, metavar="K1,K2[,K3]",
+                         help="interleaved kernel A/B: bench every workload "
+                              "under each listed kernel back to back in one "
+                              "process and report per-kernel medians plus "
+                              "speedups vs the first (e.g. python,native); "
+                              "also live-checks that all kernels report "
+                              "identical cycle counts")
     p_bench.add_argument("--update-baseline", default=None, metavar="PATH",
                          help="promote a downloaded BENCH_ci.json artifact to "
                               "the committed baseline instead of benchmarking")

@@ -115,14 +115,31 @@ def make_streaming_dataset(
 
     ``generator="sbm"`` (default) samples the paper's degree-corrected
     stochastic block model (requires numpy); ``generator="uniform"``
-    samples uniform random edges with the stdlib RNG and runs numpy-free.
+    samples uniform random edges with the stdlib RNG and runs numpy-free;
+    ``generator="rmat"`` samples a Graph500-style recursive-matrix graph
+    (requires numpy, power-of-two ``num_vertices``) whose strongly skewed
+    degree distribution stresses ghost allocation.  For R-MAT,
+    ``num_edges`` is the *attempted* count — the edge factor is
+    ``num_edges // num_vertices`` and self loops are dropped, so slightly
+    fewer edges actually stream.
     """
     if sampling not in SAMPLING_KINDS:
         raise ValueError(f"sampling must be one of {SAMPLING_KINDS}")
-    if generator not in ("sbm", "uniform"):
-        raise ValueError(f"generator must be 'sbm' or 'uniform', not {generator!r}")
+    if generator not in ("sbm", "uniform", "rmat"):
+        raise ValueError(
+            f"generator must be 'sbm', 'uniform' or 'rmat', not {generator!r}")
     if generator == "uniform":
         edges = generate_uniform(num_vertices, num_edges, seed=seed)
+    elif generator == "rmat":
+        from repro.datasets.rmat import generate_rmat
+
+        scale = num_vertices.bit_length() - 1
+        if (1 << scale) != num_vertices:
+            raise ValueError(
+                f"rmat generator needs a power-of-two vertex count, "
+                f"not {num_vertices}")
+        edge_factor = max(1, num_edges // num_vertices)
+        edges = generate_rmat(scale, edge_factor, seed=seed)
     else:
         if num_blocks is None:
             # GraphChallenge-like community sizes (a few tens of vertices per

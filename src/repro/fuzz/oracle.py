@@ -33,6 +33,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional
 
 from repro._compat import HAVE_NUMPY
+from repro.arch._native import HAVE_NATIVE
 from repro.fuzz.fingerprint import classify, fingerprint_record
 from repro.harness.runner import (
     restore_scenario,
@@ -166,12 +167,30 @@ def _clean(scenario: Scenario) -> Scenario:
 # ----------------------------------------------------------------------
 def _check_kernel_equivalence(scenario: Scenario,
                               baseline: Dict[str, Any]) -> InvariantOutcome:
-    if not HAVE_NUMPY:
+    # Every *available* accelerated kernel must reproduce the python
+    # record byte for byte; absent kernels shrink the check rather than
+    # failing it (skip-not-fail, so compiler-less and numpy-free installs
+    # stay green).
+    checked = []
+    if HAVE_NUMPY:
+        record = run_scenario(scenario, kernel="numpy")
+        outcome = _compare("kernel_equivalence", baseline, record,
+                           "numpy kernel record != python kernel record")
+        if outcome.status == "fail":
+            return outcome
+        checked.append("numpy")
+    if HAVE_NATIVE:
+        record = run_scenario(scenario, kernel="native")
+        outcome = _compare("kernel_equivalence", baseline, record,
+                           "native kernel record != python kernel record")
+        if outcome.status == "fail":
+            return outcome
+        checked.append("native")
+    if not checked:
         return InvariantOutcome("kernel_equivalence", "skip",
-                                "numpy not installed")
-    record = run_scenario(scenario, kernel="numpy")
-    return _compare("kernel_equivalence", baseline, record,
-                    "numpy kernel record != python kernel record")
+                                "no accelerated kernel available "
+                                "(numpy not installed, native not built)")
+    return InvariantOutcome("kernel_equivalence", "ok")
 
 
 def _check_snapshot_roundtrip(scenario: Scenario, baseline: Dict[str, Any],

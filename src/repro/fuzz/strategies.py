@@ -34,6 +34,7 @@ from dataclasses import replace
 from hypothesis import strategies as st
 
 from repro._compat import HAVE_NUMPY
+from repro.arch._native import HAVE_NATIVE
 from repro.algorithms.registry import algorithm_infos
 from repro.harness.scenario import (
     ChipSpec,
@@ -77,6 +78,11 @@ def chip_specs(draw, numpy_ok: bool = None) -> ChipSpec:
     """A valid :class:`ChipSpec`; shrinks toward a plain 2x2 cycle chip."""
     numpy_ok = HAVE_NUMPY if numpy_ok is None else numpy_ok
     kernels = ("auto", "python", "numpy") if numpy_ok else ("auto", "python")
+    if HAVE_NATIVE:
+        # The compiled C sweep joins the axis only when the extension is
+        # built; on compiler-less installs the axis shrinks rather than
+        # failing (same skip-not-fail stance as the numpy gate above).
+        kernels += ("native",)
     return ChipSpec(
         side=draw(st.integers(2, MAX_SIDE)),
         fidelity=draw(st.sampled_from(("cycle", "cycle-ref", "latency"))),

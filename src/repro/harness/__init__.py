@@ -54,6 +54,7 @@ from repro.harness.registry import (
 from repro.harness.report import (
     ablation_rows_from_records,
     activation_rows_from_records,
+    allocator_rows_from_records,
     baseline_rows_from_records,
     export_png_figures,
     fuzz_rows_from_records,
@@ -107,6 +108,7 @@ __all__ = [
     "QUERY_ALGORITHMS",
     "ablation_rows_from_records",
     "activation_rows_from_records",
+    "allocator_rows_from_records",
     "baseline_rows_from_records",
     "export_png_figures",
     "fuzz_rows_from_records",

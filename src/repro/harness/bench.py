@@ -131,6 +131,122 @@ def run_bench(
     return [results[s.name] for s in scenarios if s.name in results]
 
 
+#: Schema identifier of the A/B (kernel-comparison) bench JSON.
+BENCH_AB_SCHEMA = "repro-bench-ab/v1"
+
+
+def run_bench_ab(
+    scenarios: Sequence[Scenario],
+    kernels: Sequence[str],
+    *,
+    reps: int = DEFAULT_REPS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, List[WorkloadResult]]:
+    """Honest in-process A/B: bench each workload under every kernel.
+
+    The inner loop interleaves *kernels* inside each (rep, workload) pair —
+    python then native back to back, on the same warm process — so machine
+    drift lands on both sides of the comparison instead of biasing
+    whichever kernel ran in a separate invocation.  (Separate-process
+    comparisons on the perf suite show ±15% rep-to-rep spread from
+    scheduler noise alone; interleaving is what makes a ~1.2x delta
+    measurable at all.)
+
+    Beyond timing, the A/B is a live contract check: every kernel must
+    report the identical deterministic cycle count for a workload, so a
+    schedule divergence fails the bench rather than poisoning a speedup
+    number.  Returns ``{kernel: [WorkloadResult, ...]}`` in scenario order.
+    """
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    if len(kernels) < 2:
+        raise ValueError("A/B comparison needs at least two kernels")
+    if len(set(kernels)) != len(kernels):
+        raise ValueError(f"duplicate kernels in A/B list: {list(kernels)}")
+    say = progress or (lambda _msg: None)
+    results: Dict[str, Dict[str, WorkloadResult]] = {k: {} for k in kernels}
+    for rep in range(reps):
+        for scenario in scenarios:
+            for kernel in kernels:
+                timings: Dict[str, float] = {}
+                record = run_scenario(scenario, timings=timings, kernel=kernel)
+                cycles = record["total_cycles"]
+                current = results[kernel].get(scenario.name)
+                if current is None:
+                    current = WorkloadResult(
+                        name=scenario.name,
+                        spec_hash=record["spec_hash"],
+                        total_cycles=cycles,
+                    )
+                    results[kernel][scenario.name] = current
+                elif current.total_cycles != cycles:
+                    raise RuntimeError(
+                        f"nondeterministic workload {scenario.name!r} under "
+                        f"kernel {kernel!r}: {current.total_cycles} vs "
+                        f"{cycles} cycles across reps")
+                current.sim_wall_s.append(timings["sim_s"])
+                say(f"[rep {rep + 1}/{reps}] {scenario.name} ({kernel}): "
+                    f"{cycles / timings['sim_s']:,.0f} cycles/sec")
+    for scenario in scenarios:
+        cycles = {k: results[k][scenario.name].total_cycles for k in kernels}
+        if len(set(cycles.values())) != 1:
+            raise RuntimeError(
+                f"kernel schedules diverged on {scenario.name!r}: {cycles} "
+                "— the bit-identical-schedule contract is broken")
+    return {k: [results[k][s.name] for s in scenarios] for k in kernels}
+
+
+def ab_payload(
+    results_by_kernel: Dict[str, List[WorkloadResult]],
+    *,
+    tag: str,
+    suite: str,
+    reps: int,
+) -> Dict[str, Any]:
+    """The schema-versioned JSON document an A/B bench run emits.
+
+    Speedups are medians relative to the **first** kernel in the list (the
+    baseline side of the comparison, conventionally ``python``).
+    """
+    kernels = list(results_by_kernel)
+    base = kernels[0]
+    workloads = []
+    for i, base_result in enumerate(results_by_kernel[base]):
+        per_kernel = {
+            k: {
+                "sim_wall_s": [round(s, 6)
+                               for s in results_by_kernel[k][i].sim_wall_s],
+                "median_cycles_per_sec":
+                    round(results_by_kernel[k][i].median_cycles_per_sec, 1),
+            }
+            for k in kernels
+        }
+        base_cps = per_kernel[base]["median_cycles_per_sec"]
+        workloads.append({
+            "name": base_result.name,
+            "spec_hash": base_result.spec_hash,
+            "total_cycles": base_result.total_cycles,
+            "kernels": per_kernel,
+            "speedup_vs_first": {
+                k: round(per_kernel[k]["median_cycles_per_sec"] / base_cps, 3)
+                for k in kernels
+            },
+        })
+    return {
+        "schema": BENCH_AB_SCHEMA,
+        "tag": tag,
+        "suite": suite,
+        "reps": reps,
+        "kernels": kernels,
+        "repro_version": __version__,
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "workloads": workloads,
+    }
+
+
 def bench_payload(
     results: Sequence[WorkloadResult],
     *,

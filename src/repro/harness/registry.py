@@ -386,6 +386,39 @@ register_suite(
 )
 
 
+def _allocator_comparison() -> List[Scenario]:
+    """The ``examples/allocator_comparison.py`` workload as a stored suite.
+
+    One R-MAT graph (2**10 vertices, edge factor 10 — the strongly skewed
+    degree distribution overflows hub vertices into long ghost chains)
+    streamed in 5 edge-sampled increments onto a 16x16 chip with small
+    edge lists, once per ghost allocator.  The ``allocators`` report
+    section reads the stored placement-quality metrics (ghost blocks,
+    mean allocation distance, max chain depth) straight from the store —
+    the Figure 5 trade-off without re-simulating.
+    """
+    dataset = DatasetSpec(vertices=1024, edges=10_240, sampling="edge",
+                          num_increments=5, seed=3, generator="rmat")
+    return [
+        Scenario(
+            name=f"allocator-comparison-{allocator}",
+            dataset=dataset,
+            chip=ChipSpec(side=16, edge_list_capacity=8),
+            algorithm="bfs",
+            options=RunOptions(ghost_allocator=allocator),
+        )
+        for allocator in ("vicinity", "random")
+    ]
+
+
+register_suite(
+    "allocator-comparison",
+    "vicinity vs random ghost allocation on a skewed R-MAT stream "
+    "(2 scenarios; ports examples/allocator_comparison.py)",
+    _allocator_comparison,
+)
+
+
 def _perf_suite() -> List[Scenario]:
     """Fixed workloads behind ``repro bench`` (cycles/sec tracking).
 

@@ -166,6 +166,41 @@ def ablation_rows_from_records(records: Sequence[Record]) -> List[Dict[str, obje
     return rows
 
 
+def allocator_rows_from_records(records: Sequence[Record]) -> List[Dict[str, object]]:
+    """Figure 5 analogue: ghost-placement quality per allocator.
+
+    One row per ``allocator-comparison-*`` record, read straight from the
+    stored ghost metrics (``ghost_blocks`` / ``ghost_distance`` /
+    ``ghost_max_depth``) — the vicinity-vs-random trade-off the
+    ``examples/allocator_comparison.py`` demo prints, rebuilt from the
+    store without re-simulating.  Records predating the ghost-distance
+    fields render ``-`` in those columns.
+    """
+    rows: List[Dict[str, object]] = []
+    for record in records:
+        name = str(record.get("name", ""))
+        if not name.startswith("allocator-comparison-"):
+            continue
+        stats = record.get("stats") or {}
+        distance = record.get("ghost_distance")
+        rows.append(
+            {
+                "Allocator": record["scenario"]["options"].get(
+                    "ghost_allocator", "?"),
+                "Cycles": record["total_cycles"],
+                "Hops": stats.get("hops", "-"),
+                "Ghost Blocks": record.get("ghost_blocks", "-"),
+                "Mean Distance": (round(distance, 2)
+                                  if isinstance(distance, (int, float))
+                                  else "-"),
+                "Max Depth": record.get("ghost_max_depth", "-"),
+                "Energy (uJ)": round(record["energy"]["total_uj"], 1),
+            }
+        )
+    rows.sort(key=lambda r: str(r["Allocator"]))
+    return rows
+
+
 def baseline_rows_from_records(records: Sequence[Record]) -> List[Dict[str, object]]:
     """Baseline comparison: incremental chip cycles vs the BSP estimator.
 
@@ -268,12 +303,12 @@ def render_suite_report(records: Sequence[Record], *,
     """Render a full text report for a suite's records.
 
     ``tables`` selects sections out of ``("suite", "table1", "table2",
-    "activation", "ablation", "baselines", "fuzz")``; by default every
-    section that has data is included.
+    "activation", "ablation", "allocators", "baselines", "fuzz")``; by
+    default every section that has data is included.
     """
     wanted = (tuple(tables) if tables is not None
               else ("suite", "table1", "table2", "activation", "ablation",
-                    "baselines", "fuzz"))
+                    "allocators", "baselines", "fuzz"))
     sections: List[str] = []
     if "suite" in wanted:
         sections.append("Suite results:\n"
@@ -297,6 +332,11 @@ def render_suite_report(records: Sequence[Record], *,
         rows = ablation_rows_from_records(records)
         if rows:
             sections.append("Ablation sweeps (allocator / routing / fidelity):\n"
+                            + render_table(rows, max_width=36))
+    if "allocators" in wanted:
+        rows = allocator_rows_from_records(records)
+        if rows:
+            sections.append("Ghost allocator comparison (vicinity vs random):\n"
                             + render_table(rows, max_width=36))
     if "baselines" in wanted:
         rows = baseline_rows_from_records(records)

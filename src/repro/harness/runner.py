@@ -161,6 +161,8 @@ def _final_payload(
         "metrics": record_metrics(stats),
         "edges_stored": graph.total_edges_stored(),
         "ghost_blocks": ghosts["ghost_blocks"],
+        "ghost_distance": ghosts["mean_ghost_distance"],
+        "ghost_max_depth": ghosts["max_depth"],
         "algo_metrics": (algorithm.summarize(algorithm.results(graph))
                          if algorithm is not None else {}),
     }
@@ -312,6 +314,8 @@ def _assemble_record(
         "metrics": final["metrics"],
         "edges_stored": final["edges_stored"],
         "ghost_blocks": final["ghost_blocks"],
+        "ghost_distance": final["ghost_distance"],
+        "ghost_max_depth": final["ghost_max_depth"],
         "algo_metrics": final["algo_metrics"],
     }
 

@@ -57,9 +57,14 @@ class DatasetSpec:
     """Declarative description of a streaming dataset (see Table 1).
 
     ``generator`` selects the underlying graph model: ``"sbm"`` (the
-    paper's degree-corrected stochastic block model; needs numpy) or
+    paper's degree-corrected stochastic block model; needs numpy),
     ``"uniform"`` (uniform random edges, pure stdlib — the numpy-free
-    family the fuzz oracle uses on no-numpy installs).  Unlike the chip's
+    family the fuzz oracle uses on no-numpy installs) or ``"rmat"``
+    (Graph500-style recursive matrix, needs numpy; strongly skewed
+    degrees — the allocator-comparison suite's ghost-chain stressor).
+    R-MAT requires a power-of-two vertex count and treats ``edges`` as
+    the attempted count ``vertices * edge_factor`` (self loops are
+    dropped, so slightly fewer edges stream).  Unlike the chip's
     ``kernel`` pin this **is** experiment identity — different generators
     stream different edges — but the default is omitted from
     :meth:`Scenario.spec_dict` so every pre-existing spec hash, graph seed
@@ -82,8 +87,12 @@ class DatasetSpec:
             raise ValueError(f"unknown sampling {self.sampling!r}")
         if self.num_increments <= 0:
             raise ValueError("num_increments must be positive")
-        if self.generator not in ("sbm", "uniform"):
+        if self.generator not in ("sbm", "uniform", "rmat"):
             raise ValueError(f"unknown generator {self.generator!r}")
+        if self.generator == "rmat" and self.vertices & (self.vertices - 1):
+            raise ValueError(
+                f"rmat generator needs a power-of-two vertex count, "
+                f"not {self.vertices}")
 
     @property
     def name(self) -> str:

@@ -15,6 +15,7 @@ from repro.harness import get_suite, update_baseline
 from repro.harness.bench import BENCH_SCHEMA, load_bench
 from repro.harness.report import (
     ablation_rows_from_records,
+    allocator_rows_from_records,
     baseline_rows_from_records,
     export_png_figures,
     render_suite_report,
@@ -49,15 +50,36 @@ class TestPortedSuites:
 
     def test_suites_have_distinct_spec_hashes(self):
         hashes = [s.spec_hash()
-                  for s in get_suite("ablations") + get_suite("baseline-comparison")]
+                  for s in get_suite("ablations") + get_suite("baseline-comparison")
+                  + get_suite("allocator-comparison")]
         assert len(set(hashes)) == len(hashes)
+
+    def test_allocator_comparison_suite_registered(self):
+        scenarios = get_suite("allocator-comparison")
+        assert [s.name for s in scenarios] == [
+            "allocator-comparison-vicinity", "allocator-comparison-random",
+        ]
+        assert [s.options.ghost_allocator for s in scenarios] == [
+            "vicinity", "random"]
+        # The examples/allocator_comparison.py workload: a skewed R-MAT
+        # stream whose hub vertices overflow small edge lists into ghosts.
+        for s in scenarios:
+            assert s.dataset.generator == "rmat"
+            assert s.dataset.vertices == 1024  # power of two (R-MAT scale 10)
+            assert s.chip.edge_list_capacity == 8
+            assert s.algorithm == "bfs"
+        # The generator is identity: the rmat pin must survive the spec
+        # round trip (unlike the default "sbm", which is omitted).
+        spec = scenarios[0].spec_dict()
+        assert spec["dataset"]["generator"] == "rmat"
 
 
 # ----------------------------------------------------------------------
 # Report sections
 # ----------------------------------------------------------------------
 def _fake_record(name, algorithm, *, dataset=None, chip=None, cycles=100,
-                 increments=(40, 35, 25)):
+                 increments=(40, 35, 25), allocator="vicinity",
+                 ghost_distance=1.5, ghost_max_depth=2):
     dataset = dataset or {"vertices": 50, "edges": 200, "sampling": "edge",
                           "num_increments": len(increments),
                           "symmetric": False, "weighted": False, "seed": 7}
@@ -70,7 +92,7 @@ def _fake_record(name, algorithm, *, dataset=None, chip=None, cycles=100,
         "repro_version": __version__,
         "scenario": {"name": name, "dataset": dataset, "chip": chip,
                      "algorithm": algorithm,
-                     "options": {"ghost_allocator": "vicinity",
+                     "options": {"ghost_allocator": allocator,
                                  "placement": "round_robin", "root": 0,
                                  "max_cycles_per_increment": None}},
         "increment_sizes": [10] * len(increments),
@@ -82,6 +104,8 @@ def _fake_record(name, algorithm, *, dataset=None, chip=None, cycles=100,
                   "peak_activation": 0.5},
         "edges_stored": 200,
         "ghost_blocks": 3,
+        "ghost_distance": ghost_distance,
+        "ghost_max_depth": ghost_max_depth,
         "algo_metrics": {},
     }
 
@@ -107,6 +131,78 @@ class TestAblationSection:
         assert "Ablation sweeps" in with_rows
         without = render_suite_report([_fake_record("plain-bfs", "bfs")])
         assert "Ablation sweeps" not in without
+
+
+class TestAllocatorSection:
+    def test_rows_read_ghost_metrics_from_records(self):
+        records = [
+            _fake_record("allocator-comparison-vicinity", "bfs", cycles=100,
+                         allocator="vicinity", ghost_distance=1.2,
+                         ghost_max_depth=3),
+            _fake_record("allocator-comparison-random", "bfs", cycles=140,
+                         allocator="random", ghost_distance=10.7,
+                         ghost_max_depth=3),
+            _fake_record("unrelated-bfs", "bfs"),
+        ]
+        rows = allocator_rows_from_records(records)
+        assert [r["Allocator"] for r in rows] == ["random", "vicinity"]
+        assert [r["Mean Distance"] for r in rows] == [10.7, 1.2]
+        assert all(r["Ghost Blocks"] == 3 for r in rows)
+
+    def test_rows_tolerate_records_predating_ghost_metrics(self):
+        record = _fake_record("allocator-comparison-vicinity", "bfs")
+        del record["ghost_distance"]
+        del record["ghost_max_depth"]
+        (row,) = allocator_rows_from_records([record])
+        assert row["Mean Distance"] == "-"
+        assert row["Max Depth"] == "-"
+
+    def test_section_renders_only_when_present(self):
+        with_rows = render_suite_report(
+            [_fake_record("allocator-comparison-random", "bfs",
+                          allocator="random")])
+        assert "Ghost allocator comparison" in with_rows
+        without = render_suite_report([_fake_record("plain-bfs", "bfs")])
+        assert "Ghost allocator comparison" not in without
+
+
+class TestRmatDatasets:
+    def test_rmat_spec_requires_power_of_two_vertices(self):
+        from repro.harness.scenario import DatasetSpec
+
+        with pytest.raises(ValueError, match="power-of-two"):
+            DatasetSpec(vertices=1000, edges=8000, generator="rmat")
+        spec = DatasetSpec(vertices=64, edges=512, generator="rmat")
+        assert spec.name == "rmat-64v-512e-edge"
+
+    @requires_numpy
+    def test_rmat_materialisation_is_deterministic(self):
+        from repro.harness.runner import materialize_dataset
+        from repro.harness.scenario import DatasetSpec
+
+        spec = DatasetSpec(vertices=64, edges=512, num_increments=3,
+                           generator="rmat", seed=3)
+        a, b = materialize_dataset(spec), materialize_dataset(spec)
+        assert a.increment_sizes() == b.increment_sizes()
+        assert [list(c) for c in a.increments] == [list(c) for c in b.increments]
+        # Self loops are dropped, so slightly fewer than `edges` stream.
+        assert 0 < a.total_edges <= 512
+
+    @requires_numpy
+    def test_records_carry_ghost_placement_metrics(self):
+        from repro.harness.runner import run_scenario
+        from repro.harness.scenario import ChipSpec, DatasetSpec, Scenario
+
+        record = run_scenario(Scenario(
+            name="rmat-smoke",
+            dataset=DatasetSpec(vertices=64, edges=512, num_increments=2,
+                                generator="rmat", seed=3),
+            chip=ChipSpec(side=8, edge_list_capacity=8),
+            algorithm="bfs",
+        ))
+        assert record["ghost_blocks"] > 0
+        assert record["ghost_distance"] > 0
+        assert record["ghost_max_depth"] >= 1
 
 
 class TestBaselineSection:

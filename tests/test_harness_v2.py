@@ -34,10 +34,13 @@ from repro.harness import (
     shutdown_pool,
 )
 from repro.harness.bench import (
+    BENCH_AB_SCHEMA,
     BENCH_SCHEMA,
+    ab_payload,
     bench_payload,
     compare_bench,
     load_bench,
+    run_bench_ab,
     write_bench,
 )
 
@@ -459,6 +462,74 @@ class TestBench:
         assert statuses["dropped"] == "missing"
         assert statuses["added"] == "new"
         assert not comparison.passed  # missing fails, new does not
+
+
+def _ab_kernels():
+    """Every schedule-identical kernel pair member available here."""
+    from repro.arch._native import HAVE_NATIVE
+
+    kernels = ["python", "numpy"]
+    if HAVE_NATIVE:
+        kernels.append("native")
+    return kernels
+
+
+class TestBenchAb:
+    @requires_numpy
+    def test_run_bench_ab_reports_per_kernel_medians(self):
+        kernels = _ab_kernels()
+        scenarios = [tiny_scenario("w1", "ingest"), tiny_scenario("w2", "bfs")]
+        results = run_bench_ab(scenarios, kernels, reps=2)
+        assert sorted(results) == sorted(kernels)
+        for kernel in kernels:
+            assert [r.name for r in results[kernel]] == ["w1", "w2"]
+            for result in results[kernel]:
+                assert len(result.sim_wall_s) == 2
+                assert result.median_cycles_per_sec > 0
+        # The A/B doubles as a schedule-contract check: identical cycles.
+        for i in range(2):
+            assert len({results[k][i].total_cycles for k in kernels}) == 1
+
+    def test_run_bench_ab_validates_kernel_list(self):
+        with pytest.raises(ValueError, match="at least two"):
+            run_bench_ab([tiny_scenario()], ["python"], reps=1)
+        with pytest.raises(ValueError, match="duplicate"):
+            run_bench_ab([tiny_scenario()], ["python", "python"], reps=1)
+
+    @requires_numpy
+    def test_ab_payload_schema_and_speedups(self, tmp_path):
+        kernels = _ab_kernels()
+        results = run_bench_ab([tiny_scenario("w", "ingest")], kernels, reps=1)
+        payload = ab_payload(results, tag="test", suite="custom", reps=1)
+        assert payload["schema"] == BENCH_AB_SCHEMA
+        assert payload["kernels"] == kernels
+        (workload,) = payload["workloads"]
+        assert workload["speedup_vs_first"][kernels[0]] == 1.0
+        assert set(workload["kernels"]) == set(kernels)
+        # write_bench round-trips, but load_bench guards the plain schema.
+        path = write_bench(tmp_path / "BENCH_ab.json", payload)
+        assert json.loads(path.read_text()) == payload
+
+    @requires_numpy
+    def test_cli_bench_ab(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_json = tmp_path / "BENCH_ab.json"
+        assert main(["bench", "--suite", "tiny", "--reps", "1",
+                     "--ab", "python,numpy", "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "numpy speedup" in out
+        assert json.loads(out_json.read_text())["schema"] == BENCH_AB_SCHEMA
+
+    def test_cli_bench_ab_rejects_bad_flag_combinations(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "--ab", "python",
+                     "--suite", "tiny"]) == 2
+        assert ">= 2 comma-separated kernels" in capsys.readouterr().err
+        assert main(["bench", "--ab", "python,native", "--suite", "tiny",
+                     "--baseline", "whatever.json"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
 
 
 class TestCliIntegration:

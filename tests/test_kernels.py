@@ -30,7 +30,12 @@ from test_noc_equivalence import drain_schedule, normalize
 np = pytest.importorskip("numpy")
 
 from repro.arch import kernels  # noqa: E402 - needs numpy present
+from repro.arch._native import HAVE_NATIVE  # noqa: E402
 from repro.arch.kernels import NumpyCycleAccurateNoC, resolve_kernel  # noqa: E402
+
+# With the C extension built, "auto" prefers native over numpy (both are
+# bit-identical, so the preference is pure speed ordering).
+AUTO_KERNEL = "native" if HAVE_NATIVE else "numpy"
 
 
 def make_numpy_noc(width=8, height=8, routing="yx", vector_min=None,
@@ -49,15 +54,20 @@ def make_numpy_noc(width=8, height=8, routing="yx", vector_min=None,
 
 
 class TestResolveKernel:
-    def test_auto_resolves_to_numpy_when_available(self, monkeypatch):
+    def test_auto_resolves_to_fastest_available(self, monkeypatch):
         monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        assert resolve_kernel(ChipConfig(width=4, height=4)) == AUTO_KERNEL
+
+    def test_auto_prefers_numpy_when_native_missing(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        monkeypatch.setattr(kernels, "HAVE_NATIVE", False)
         assert resolve_kernel(ChipConfig(width=4, height=4)) == "numpy"
 
     def test_env_overrides_auto(self, monkeypatch):
         monkeypatch.setenv(kernels.KERNEL_ENV, "python")
         assert resolve_kernel(ChipConfig(width=4, height=4)) == "python"
         monkeypatch.setenv(kernels.KERNEL_ENV, "auto")
-        assert resolve_kernel(ChipConfig(width=4, height=4)) == "numpy"
+        assert resolve_kernel(ChipConfig(width=4, height=4)) == AUTO_KERNEL
 
     def test_explicit_config_beats_env(self, monkeypatch):
         monkeypatch.setenv(kernels.KERNEL_ENV, "numpy")
@@ -77,6 +87,7 @@ class TestResolveKernel:
     def test_auto_without_numpy_falls_back(self, monkeypatch):
         monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
         monkeypatch.setattr(kernels, "HAVE_NUMPY", False)
+        monkeypatch.setattr(kernels, "HAVE_NATIVE", False)
         assert resolve_kernel(ChipConfig(width=4, height=4)) == "python"
 
     def test_build_noc_selects_numpy_kernel(self):
@@ -216,7 +227,7 @@ class TestKernelIsExecutionDetail:
 
     def test_spec_hash_and_seed_ignore_kernel(self):
         base = Scenario(name="k", chip=ChipSpec(side=8))
-        for kernel in ("python", "numpy", "auto"):
+        for kernel in ("python", "numpy", "native", "auto"):
             pinned = Scenario(name="k", chip=ChipSpec(side=8, kernel=kernel))
             assert pinned.spec_hash() == base.spec_hash()
             assert pinned.graph_seed() == base.graph_seed()
@@ -234,9 +245,13 @@ class TestKernelIsExecutionDetail:
             chip=ChipSpec(side=8, edge_list_capacity=8),
             algorithm="bfs",
         )
+        kernels_to_run = ["python", "numpy"]
+        if HAVE_NATIVE:
+            kernels_to_run.append("native")
         records = [run_scenario(scenario, kernel=kernel)
-                   for kernel in ("python", "numpy")]
-        assert records[0] == records[1]
+                   for kernel in kernels_to_run]
+        for other in records[1:]:
+            assert other == records[0]
 
 
 class TestMessageArena:
