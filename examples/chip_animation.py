@@ -14,27 +14,33 @@ returned here is byte-identical to an untraced ``run_scenario``.
 The full frame stack is additionally saved to ``chip_trace.npz`` when
 numpy is available (frame capture itself is stdlib-only).
 
+The workload is the registered ``chip-animation`` harness suite, and the
+record lands in the shared demo store (``results/demo.jsonl``), so the
+same measurement can be rebuilt later without re-simulating::
+
+    repro suite show --preset chip-animation --store results/demo.jsonl
+
 Run with:  python examples/chip_animation.py
 """
 
 from repro._compat import np
-from repro.harness import ChipSpec, DatasetSpec, RunOptions, Scenario
+from repro.harness import ResultStore, get_suite
 from repro.harness.runner import run_scenario_traced
 
 
 def main() -> None:
-    scenario = Scenario(
-        name="chip-animation",
-        dataset=DatasetSpec(vertices=300, edges=3000, sampling="snowball",
-                            seed=9),
-        chip=ChipSpec(side=16, edge_list_capacity=8),
-        algorithm="bfs",
-        options=RunOptions(),
-    )
+    # The exact spec lives in the suite registry (shared with `repro suite
+    # run --preset chip-animation`); tracing it changes nothing about the
+    # record because instrumentation is observer-only.
+    (scenario,) = get_suite("chip-animation")
 
     # frames_every=25: capture an activity frame every 25 cycles.
     record, device = run_scenario_traced(scenario, frames_every=25,
                                          trace_path="chip_trace.json")
+    store = ResultStore("results/demo.jsonl")
+    store.put(record)
+    print(f"record stored in {store.path} "
+          f"({scenario.spec_hash()[:16]}…)\n")
 
     trace = device.trace
     print(f"captured {len(trace.frames)} frames over "

@@ -56,7 +56,7 @@ from repro.datasets import make_streaming_dataset, paper_dataset_configs
 # by contract — and records gained ghost_distance / ghost_max_depth (the
 # allocator-comparison suite's metrics), so the bump invalidates caches to
 # keep every stored record shape-uniform.
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ChipConfig",

@@ -607,6 +607,11 @@ class NumpyCycleAccurateNoC(CycleAccurateNoC):
             self._leave_vector_mode()
         return CycleAccurateNoC.export_state(self)
 
+    def untraversed_hops(self) -> int:
+        if not self._vector_mode:
+            return CycleAccurateNoC.untraversed_hops(self)
+        return _untraversed_flat(self)
+
     # ------------------------------------------------------------------
     # Event-driven fast-forward support (see Simulator.run)
     # ------------------------------------------------------------------
@@ -649,6 +654,34 @@ class NumpyCycleAccurateNoC(CycleAccurateNoC):
         if per_link is not None:
             for k in range(p + 1, p + span + 1):
                 per_link[pool[k]] += 1
+
+
+def _untraversed_flat(noc) -> int:
+    """Prepaid-but-untraversed flit-hops, read off the flat slot buffers.
+
+    Shared by the numpy kernel's vector mode and the native kernel (both
+    keep in-flight state as per-link intrusive lists over ``array('q')``
+    buffers): a slot's hop index is ``vpos - pool offset``, so the
+    remainder is ``vrlen`` minus that.  Mirrors
+    :meth:`CycleAccurateNoC.untraversed_hops` without forcing a mode exit.
+    """
+    fw = noc._flit_words
+    memo = noc._pool_memo
+    n = noc._num_cells
+    vq_head = noc._vq_head
+    vnext = noc._vnext
+    vpos = noc._vpos
+    vrlen = noc._vrlen
+    vslot_msg = noc._vslot_msg
+    total = 0
+    for lid in noc._active:
+        s = vq_head[lid]
+        while s != -1:
+            msg = vslot_msg[s]
+            off = memo[msg.src * n + msg.dst][0]
+            total += msg.flits(fw) * (vrlen[s] - (vpos[s] - off))
+            s = vnext[s]
+    return total
 
 
 class NativeCycleAccurateNoC(CycleAccurateNoC):
@@ -888,6 +921,9 @@ class NativeCycleAccurateNoC(CycleAccurateNoC):
             "local": [msg.to_state() for msg in self._local_deliveries],
             "active": active_out,
         }
+
+    def untraversed_hops(self) -> int:
+        return _untraversed_flat(self)
 
     def import_state(self, state: Dict) -> None:
         self._local_deliveries = [Message.from_state(s)

@@ -96,6 +96,17 @@ class BaseNoC:
         """True when no message is in flight."""
         return self.in_flight == 0
 
+    def untraversed_hops(self) -> int:
+        """Flit-hops charged to ``stats.hops`` but not yet traversed.
+
+        Models that prepay a message's whole route at injection (the fast
+        cycle sweeps, the latency model) report the in-flight remainder
+        here so truncated runs can account for it explicitly
+        (``SimStats.hops_untraversed``).  Models that accrue per traversal
+        (:class:`ReferenceCycleAccurateNoC`) never over-charge and return 0.
+        """
+        return 0
+
     # -- snapshot support (see repro.snapshot) -------------------------
     def export_state(self) -> Dict:
         """In-flight state as plain values (model-specific; see subclasses)."""
@@ -287,6 +298,20 @@ class CycleAccurateNoC(BaseNoC):
     @property
     def is_empty(self) -> bool:
         return self.in_flight == 0 and not self._local_deliveries
+
+    def untraversed_hops(self) -> int:
+        """Prepaid flit-hops still ahead of the in-flight messages.
+
+        A message queued on ``route[_noc_hop]`` has traversed ``_noc_hop``
+        links, so ``len(route) - _noc_hop`` of its prepaid charge is still
+        untraversed.  Local deliveries never charge hops and are excluded.
+        """
+        fw = self._flit_words
+        total = 0
+        for lid in self._active:
+            for msg in self._queues[lid]:
+                total += msg.flits(fw) * (len(msg._noc_route) - msg._noc_hop)
+        return total
 
     # ------------------------------------------------------------------
     # Snapshot support.  Queued messages are exported in (activation,
@@ -567,6 +592,20 @@ class LatencyNoC(BaseNoC):
             delivered.append(msg)
             self.in_flight -= 1
         return delivered
+
+    def untraversed_hops(self) -> int:
+        """Whole prepaid charge of every undelivered message.
+
+        The latency model teleports messages at their deadline, so until
+        delivery none of the Manhattan-distance charge has been traversed.
+        """
+        fw = max(1, self.config.max_message_words)
+        man = self.config.manhattan
+        if self.batched:
+            pending = (m for bucket in self._buckets.values() for m in bucket)
+        else:
+            pending = (m for _, _, m in self._heap)
+        return sum(man(msg.src, msg.dst) * msg.flits(fw) for msg in pending)
 
     # -- snapshot support ----------------------------------------------
     def export_state(self) -> Dict:

@@ -744,6 +744,10 @@ class Simulator:
         """Refresh aggregate accounting and return the statistics object."""
         self._reconcile_parked()
         self.collect_cell_counters()
+        # Settle the prepaid-hops caveat into explicit accounting: the
+        # untraversed remainder of in-flight routes, recomputed from the
+        # live NoC so the call stays idempotent (0 at quiescence).
+        self.stats.hops_untraversed = self.noc.untraversed_hops()
         return self.stats
 
     def energy_report(self, model: Optional[EnergyModel] = None) -> EnergyReport:

@@ -31,6 +31,15 @@ class SimStats:
     messages_injected: int = 0
     messages_delivered: int = 0
     hops: int = 0
+    #: Flit-hops already charged to :attr:`hops` that no in-flight message
+    #: has traversed yet.  The fast cycle NoCs and the latency model prepay
+    #: a message's whole route at injection, so when a run is truncated by
+    #: a ``max_cycles`` budget mid-flight, ``hops`` overstates traversed
+    #: work by exactly this amount (0 at quiescence, and always 0 for the
+    #: per-hop-accruing ``cycle-ref`` model).  Refreshed by
+    #: ``Simulator.finalize``; derived, so it is excluded from snapshot
+    #: state and recomputed after restore.
+    hops_untraversed: int = 0
     link_busy: int = 0
     tasks_executed: int = 0
     allocations: int = 0
@@ -226,6 +235,7 @@ class SimStats:
             "messages_delivered": self.messages_delivered,
             "messages_staged": self.messages_staged,
             "hops": self.hops,
+            "hops_untraversed": self.hops_untraversed,
             "tasks_executed": self.tasks_executed,
             "allocations": self.allocations,
             "io_injections": self.io_injections,

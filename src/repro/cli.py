@@ -823,6 +823,23 @@ def cmd_fuzz_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, serve_forever
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        queue_depth=args.queue_depth,
+        store=args.store,
+        timeout=args.timeout,
+        cadence=args.cadence,
+        kernel=args.kernel,
+    )
+    serve_forever(config)
+    return 0
+
+
 def cmd_quickstart(args: argparse.Namespace) -> int:
     chip = ChipConfig.small()
     dataset = make_streaming_dataset(200, 1600, sampling="edge", seed=1)
@@ -1134,6 +1151,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz_classify.add_argument("--json", action="store_true",
                                  help="emit full classification rows as JSON")
     p_fuzz_classify.set_defaults(func=cmd_fuzz_classify)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived scenario service over the warm pool, result store "
+             "and snapshots (see docs/serve.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8631,
+                         help="bind port; 0 picks an ephemeral port "
+                              "(default: 8631)")
+    p_serve.add_argument("--jobs", type=int, default=2,
+                         help="warm pool workers = jobs simulating "
+                              "concurrently (default: 2)")
+    p_serve.add_argument("--queue-depth", type=int, default=8,
+                         help="max admitted-but-unfinished jobs; further "
+                              "submissions get HTTP 429 (default: 8)")
+    p_serve.add_argument("--store", default="results/serve.jsonl",
+                         help="JSONL result store path "
+                              "(default: results/serve.jsonl)")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-span wall-clock budget; an overdue span "
+                              "fails its job and respawns the worker "
+                              "(default: unlimited)")
+    p_serve.add_argument("--cadence", type=int, default=1,
+                         metavar="INCREMENTS",
+                         help="increments per execution span — the "
+                              "progress/pause granularity (default: 1)")
+    p_serve.add_argument("--kernel",
+                         choices=("auto", "python", "numpy", "native"),
+                         default=None,
+                         help="default NoC kernel pin for submitted jobs "
+                              "(identity-free; per-job POST field overrides)")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_metrics = sub.add_parser(
         "metrics",

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import threading
 import time
 import traceback
 from collections import deque
@@ -316,6 +317,221 @@ class WorkerPool:
         if self._closed:
             return
         self._closed = True
+        for worker in self._workers:
+            worker.stop()
+        self._workers = []
+
+
+# ----------------------------------------------------------------------
+# Continuous dispatch: the pool/job adapter for long-lived services
+# ----------------------------------------------------------------------
+class TaskHandle:
+    """Awaitable result slot for one :class:`DispatchPool` task."""
+
+    __slots__ = ("_event", "result")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.result: Optional[TaskResult] = None
+
+    def _resolve(self, result: TaskResult) -> None:
+        self.result = result
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[TaskResult]:
+        """Block until the task resolves; ``None`` only on wait timeout."""
+        if not self._event.wait(timeout):
+            return None
+        return self.result
+
+
+@dataclass
+class _Queued:
+    """One submitted-but-not-dispatched DispatchPool task."""
+
+    handle: TaskHandle
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...]
+    timeout: Optional[float]
+
+
+class DispatchPool:
+    """Warm worker processes behind a thread-safe, always-on dispatcher.
+
+    :meth:`WorkerPool.run_tasks` is a synchronous batch API: one caller,
+    results when the whole batch drains.  A long-lived service needs the
+    opposite shape — many threads submitting single tasks at arbitrary
+    times against one warm set of workers — so this adapter runs the same
+    ``_Worker`` processes under a dedicated dispatcher thread: tasks queue
+    through :meth:`submit`, are assigned to idle workers as they free up,
+    and keep the ``WorkerPool`` guarantees (hard per-task timeouts kill and
+    respawn only the overdue worker; a crashed worker resolves only its own
+    task).  ``repro serve`` runs every job span through one of these.
+
+    Task callables must be module-level functions (pickled by reference),
+    exactly as for :class:`WorkerPool`.
+    """
+
+    def __init__(self, workers: int, *, context=None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._ctx = context or multiprocessing.get_context()
+        self._workers: List[_Worker] = [_Worker(self._ctx)
+                                        for _ in range(workers)]
+        self._idle: deque = deque(self._workers)
+        self._busy: Dict[_Worker, Tuple[TaskHandle, _InFlight]] = {}
+        self._pending: deque = deque()
+        self._lock = threading.Lock()
+        self._closed = False
+        #: Respawn count (timeouts + crashes), for service metrics.
+        self.respawns = 0
+        # Wake channel: submit()/shutdown() nudge the dispatcher out of its
+        # connection wait without a polling interval.
+        self._wake_r, self._wake_w = self._ctx.Pipe(duplex=False)
+        self._thread = threading.Thread(
+            target=self._loop, name="dispatch-pool", daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._workers)
+
+    @property
+    def alive(self) -> bool:
+        return not self._closed
+
+    def submit(self, fn: Callable[..., Any], args: Tuple[Any, ...] = (),
+               *, timeout: Optional[float] = None) -> TaskHandle:
+        """Queue one task; returns immediately with its result handle."""
+        handle = TaskHandle()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("pool has been shut down")
+            self._pending.append(_Queued(handle, fn, tuple(args), timeout))
+        self._wake()
+        return handle
+
+    def run(self, fn: Callable[..., Any], args: Tuple[Any, ...] = (),
+            *, timeout: Optional[float] = None) -> TaskResult:
+        """Submit and block until the task resolves (convenience wrapper)."""
+        result = self.submit(fn, args, timeout=timeout).wait()
+        assert result is not None  # handle.wait() without timeout never None
+        return result
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(None)
+        except (BrokenPipeError, OSError):  # pragma: no cover - shutdown race
+            pass
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            with self._lock:
+                closed = self._closed
+                # Dispatch everything an idle worker can take.
+                while self._pending and self._idle and not closed:
+                    worker = self._idle.popleft()
+                    if not worker.alive:
+                        self._replace_locked(worker)
+                        continue
+                    item = self._pending.popleft()
+                    now = time.monotonic()
+                    try:
+                        worker.conn.send((0, item.fn, item.args))
+                    except (BrokenPipeError, OSError):
+                        self._pending.appendleft(item)
+                        self._replace_locked(worker)
+                        continue
+                    deadline = (now + item.timeout
+                                if item.timeout is not None else None)
+                    self._busy[worker] = (item.handle, _InFlight(
+                        task_id=0, started=now, deadline=deadline,
+                        pid=worker.process.pid or 0))
+                busy = dict(self._busy)
+                if closed and not busy:
+                    return
+            deadlines = [f.deadline for _, f in busy.values()
+                         if f.deadline is not None]
+            poll = None
+            if deadlines:
+                poll = max(0.0, min(deadlines) - time.monotonic())
+            conns = [w.conn for w in busy] + [self._wake_r]
+            ready = _wait_connections(conns, timeout=poll)
+
+            if self._wake_r in ready:
+                try:
+                    while self._wake_r.poll():
+                        self._wake_r.recv()
+                except (EOFError, OSError):  # pragma: no cover - shutdown race
+                    pass
+            by_conn = {w.conn: w for w in busy}
+            for conn in ready:
+                worker = by_conn.get(conn)
+                if worker is None:
+                    continue
+                try:
+                    _task_id, status, payload = conn.recv()
+                except (EOFError, OSError):
+                    self._finish(worker, TaskResult(
+                        status="error",
+                        error="worker process died before returning a result",
+                    ), replace=True)
+                    continue
+                if status == "ok":
+                    self._finish(worker, TaskResult(status="ok", value=payload))
+                else:
+                    self._finish(worker, TaskResult(status="error",
+                                                    error=payload))
+            now = time.monotonic()
+            with self._lock:
+                overdue = [w for w, (_, f) in self._busy.items()
+                           if f.deadline is not None and f.deadline <= now]
+            for worker in overdue:
+                self._finish(worker, TaskResult(status="timeout"),
+                             replace=True)
+
+    def _finish(self, worker: _Worker, result: TaskResult,
+                replace: bool = False) -> None:
+        with self._lock:
+            handle, flight = self._busy.pop(worker)
+            result.elapsed_s = time.monotonic() - flight.started
+            if replace:
+                self._replace_locked(worker)
+            else:
+                self._idle.append(worker)
+        handle._resolve(result)
+
+    def _replace_locked(self, worker: _Worker) -> None:
+        """Kill a worker and enlist a fresh replacement (lock held)."""
+        worker.kill()
+        self._workers.remove(worker)
+        replacement = _Worker(self._ctx)
+        self._workers.append(replacement)
+        self._idle.append(replacement)
+        self.respawns += 1
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop accepting work, resolve queued tasks as errors, reap workers.
+
+        In-flight tasks are allowed to finish; idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            dropped = list(self._pending)
+            self._pending.clear()
+        for item in dropped:
+            item.handle._resolve(TaskResult(
+                status="error", error="pool shut down before dispatch"))
+        self._wake()
+        self._thread.join()
         for worker in self._workers:
             worker.stop()
         self._workers = []

@@ -280,6 +280,35 @@ register_suite("graphchallenge-demo",
                _graphchallenge_demo)
 
 
+def _chip_animation() -> List[Scenario]:
+    """The animation demo workload as a stored suite.
+
+    The exact scenario ``examples/chip_animation.py`` traces: streaming
+    dynamic BFS over a snowball-sampled 300-vertex graph on a 16x16 chip
+    with a deliberately small per-cell edge list (so ghosting and control
+    transfer stay visible in the frames).  The example drives this suite
+    definition through the traced runner; because instrumentation is
+    observer-only, the record it stores is byte-identical to an untraced
+    ``repro suite run --preset chip-animation`` of the same spec.
+    """
+    return [
+        Scenario(
+            name="chip-animation",
+            dataset=DatasetSpec(vertices=300, edges=3000,
+                                sampling="snowball", seed=9),
+            chip=ChipSpec(side=16, edge_list_capacity=8),
+            algorithm="bfs",
+            options=RunOptions(),
+        )
+    ]
+
+
+register_suite("chip-animation",
+               "the examples/ animation workload: streaming BFS on a 16x16 "
+               "chip with tight edge lists (1 scenario)",
+               _chip_animation)
+
+
 def _figures_500k() -> List[Scenario]:
     """Figures 6/7/9 workloads as a stored suite (ports ``bench_fig6/7/9``).
 

@@ -298,57 +298,63 @@ def increment_figures_from_records(records: Sequence[Record]) -> List[FigureData
     return figures
 
 
+#: Report section registry: key -> (title, row builder, render_table width).
+#: ``suite`` is always emitted; every other section is skipped when empty.
+REPORT_SECTIONS: Dict[str, Tuple[str, Any, Optional[int]]] = {
+    "suite": ("Suite results", suite_table_rows, 36),
+    "table1": ("Table 1 analogue (edges per increment)",
+               table1_rows_from_records, None),
+    "table2": ("Table 2 analogue (energy and time)",
+               table2_rows_from_records, 36),
+    "activation": ("Figure 6/7 analogue (cell activation)",
+                   activation_rows_from_records, 36),
+    "ablation": ("Ablation sweeps (allocator / routing / fidelity)",
+                 ablation_rows_from_records, 36),
+    "allocators": ("Ghost allocator comparison (vicinity vs random)",
+                   allocator_rows_from_records, 36),
+    "baselines": ("Baseline comparison (incremental vs BSP estimate)",
+                  baseline_rows_from_records, None),
+    "fuzz": ("Workload regimes (fuzz fingerprint)",
+             fuzz_rows_from_records, 36),
+}
+
+
+def report_sections(records: Sequence[Record], *,
+                    tables: Optional[Sequence[str]] = None,
+                    ) -> List[Tuple[str, str]]:
+    """``(title, rendered table)`` pairs for a suite report.
+
+    The shared section pipeline behind the plain-text ``repro report`` and
+    the ``repro serve`` HTML view — both render exactly these tables, so
+    the two surfaces can never drift.  ``tables`` selects section keys out
+    of :data:`REPORT_SECTIONS` (default: every section that has data; the
+    ``suite`` overview is included even when empty).
+    """
+    wanted = tuple(tables) if tables is not None else tuple(REPORT_SECTIONS)
+    sections: List[Tuple[str, str]] = []
+    for key in wanted:
+        if key not in REPORT_SECTIONS:
+            continue
+        title, build_rows, max_width = REPORT_SECTIONS[key]
+        rows = build_rows(records)
+        if not rows and key != "suite":
+            continue
+        body = (render_table(rows, max_width=max_width)
+                if max_width is not None else render_table(rows))
+        sections.append((title, body))
+    return sections
+
+
 def render_suite_report(records: Sequence[Record], *,
                         tables: Optional[Sequence[str]] = None) -> str:
     """Render a full text report for a suite's records.
 
-    ``tables`` selects sections out of ``("suite", "table1", "table2",
-    "activation", "ablation", "allocators", "baselines", "fuzz")``; by
-    default every section that has data is included.
+    ``tables`` selects sections out of :data:`REPORT_SECTIONS`; by default
+    every section that has data is included.
     """
-    wanted = (tuple(tables) if tables is not None
-              else ("suite", "table1", "table2", "activation", "ablation",
-                    "allocators", "baselines", "fuzz"))
-    sections: List[str] = []
-    if "suite" in wanted:
-        sections.append("Suite results:\n"
-                        + render_table(suite_table_rows(records), max_width=36))
-    if "table1" in wanted:
-        rows = table1_rows_from_records(records)
-        if rows:
-            sections.append("Table 1 analogue (edges per increment):\n"
-                            + render_table(rows))
-    if "table2" in wanted:
-        rows = table2_rows_from_records(records)
-        if rows:
-            sections.append("Table 2 analogue (energy and time):\n"
-                            + render_table(rows, max_width=36))
-    if "activation" in wanted:
-        rows = activation_rows_from_records(records)
-        if rows:
-            sections.append("Figure 6/7 analogue (cell activation):\n"
-                            + render_table(rows, max_width=36))
-    if "ablation" in wanted:
-        rows = ablation_rows_from_records(records)
-        if rows:
-            sections.append("Ablation sweeps (allocator / routing / fidelity):\n"
-                            + render_table(rows, max_width=36))
-    if "allocators" in wanted:
-        rows = allocator_rows_from_records(records)
-        if rows:
-            sections.append("Ghost allocator comparison (vicinity vs random):\n"
-                            + render_table(rows, max_width=36))
-    if "baselines" in wanted:
-        rows = baseline_rows_from_records(records)
-        if rows:
-            sections.append("Baseline comparison (incremental vs BSP estimate):\n"
-                            + render_table(rows))
-    if "fuzz" in wanted:
-        rows = fuzz_rows_from_records(records)
-        if rows:
-            sections.append("Workload regimes (fuzz fingerprint):\n"
-                            + render_table(rows, max_width=36))
-    return "\n\n".join(sections)
+    return "\n\n".join(f"{title}:\n{body}"
+                       for title, body in report_sections(records,
+                                                          tables=tables))
 
 
 def export_png_figures(records: Sequence[Record], outdir) -> List:

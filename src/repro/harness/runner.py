@@ -457,6 +457,19 @@ def shard_spans(num_increments: int, shards: int) -> List[Tuple[int, int]]:
     return [(a, b) for a, b in zip(bounds, bounds[1:]) if b > a]
 
 
+def cadence_spans(num_increments: int, cadence: int) -> List[Tuple[int, int]]:
+    """Contiguous spans of at most ``cadence`` increments each.
+
+    The progress/pause granularity of ``repro serve``: a job executes one
+    :func:`_pipeline_span_task` per span, with a checkpoint at every
+    boundary, so increments completed (and the park point of a paused job)
+    advance in ``cadence``-sized steps.
+    """
+    cadence = max(1, cadence)
+    return [(a, min(a + cadence, num_increments))
+            for a in range(0, num_increments, cadence)]
+
+
 def _unpack_run_opts(
     snap_opts,
 ) -> Tuple[int, Optional[str], Optional[str]]:

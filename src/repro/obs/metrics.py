@@ -25,6 +25,7 @@ round-trips the exposition back into a registry for tests and tooling.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -134,10 +135,25 @@ class Histogram(Metric):
 
 
 class MetricsRegistry:
-    """A named collection of metrics with deterministic serialisation."""
+    """A named collection of metrics with deterministic serialisation.
+
+    Single-threaded producers (the runner, the record path) use the
+    registry directly.  Concurrent producers — ``repro serve`` updates
+    counters from scheduler and request threads while ``/metrics`` renders
+    — must wrap mutations in ``with registry.locked():`` so an in-progress
+    series insertion can never race a :meth:`snapshot` /
+    :meth:`to_prometheus` iteration.  Both renderers always take the lock
+    themselves, so uncontended single-threaded use pays one uncontended
+    RLock acquire per export and nothing per update.
+    """
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.RLock()
+
+    def locked(self) -> "threading.RLock":
+        """The registry's guard, as a context manager for mutation sites."""
+        return self._lock
 
     # ------------------------------------------------------------------
     # Declaration
@@ -184,6 +200,10 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         """Plain-dict form: sorted, JSON-serialisable, deterministic."""
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {}
         for metric in self.metrics():
             entry: Dict[str, Any] = {
@@ -267,6 +287,10 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def to_prometheus(self) -> str:
         """The registry in the Prometheus text exposition format (0.0.4)."""
+        with self._lock:
+            return self._to_prometheus_locked()
+
+    def _to_prometheus_locked(self) -> str:
         lines: List[str] = []
         for metric in self.metrics():
             if metric.help:

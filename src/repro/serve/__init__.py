@@ -1,0 +1,40 @@
+"""``repro serve`` — a long-lived scenario service over the existing stack.
+
+Everything a server needs already exists in this repository; this package
+only composes it behind HTTP (stdlib ``http.server`` + threads, zero new
+dependencies):
+
+* jobs are keyed by the result store's **spec-hash × version** identity, so
+  a POST whose record is already cached returns immediately,
+* execution feeds the warm worker machinery through
+  :class:`~repro.harness.pool.DispatchPool` (per-span timeouts, crash
+  containment, respawn),
+* progress, pause and resume ride the snapshot subsystem: a job runs as a
+  sequence of pipeline spans with a checkpoint at every boundary, exactly
+  the transport ``--shard-increments --pipeline`` uses, so a
+  paused-then-resumed job merges to a record byte-identical to an
+  uninterrupted run,
+* ``GET /v1/records/<spec_hash>`` returns the store's canonical JSONL
+  bytes, so records fetched over HTTP are byte-identical to a direct
+  ``repro suite run`` of the same spec,
+* ``GET /metrics`` exposes the :mod:`repro.obs` registry in Prometheus
+  text format.
+
+The server path is observer-only: nothing here changes spec hashes or the
+simulated schedule.  See docs/serve.md for the API and semantics.
+"""
+
+from repro.serve.app import make_server, serve_forever
+from repro.serve.jobs import Job, JobRegistry
+from repro.serve.queue import FairQueue
+from repro.serve.service import ScenarioService, ServeConfig
+
+__all__ = [
+    "FairQueue",
+    "Job",
+    "JobRegistry",
+    "ScenarioService",
+    "ServeConfig",
+    "make_server",
+    "serve_forever",
+]

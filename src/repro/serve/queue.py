@@ -1,0 +1,67 @@
+"""The admission-side fair queue of ``repro serve``.
+
+Round-robin across clients: each client gets its own FIFO, and
+:meth:`FairQueue.pop` rotates through clients with pending work, so one
+client submitting fifty scenarios cannot starve another submitting one.
+Admission control (the bounded depth behind the 429s) is enforced by the
+service *before* a job reaches this queue — the queue itself never
+rejects, so a resumed job can always re-enter.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.serve.jobs import Job
+
+
+class FairQueue:
+    """Blocking multi-client FIFO with round-robin fairness."""
+
+    def __init__(self) -> None:
+        #: Clients with pending jobs, in rotation order.
+        self._rotation: Deque[str] = deque()
+        self._queues: Dict[str, Deque[Job]] = {}
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def push(self, job: Job) -> None:
+        """Enqueue a job under its client's FIFO (never rejects)."""
+        with self._cond:
+            queue = self._queues.get(job.client)
+            if queue is None:
+                queue = self._queues[job.client] = deque()
+            if not queue:
+                self._rotation.append(job.client)
+            queue.append(job)
+            self._cond.notify()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Next job, round-robin across clients; ``None`` on timeout/close."""
+        with self._cond:
+            if not self._rotation and not self._closed:
+                self._cond.wait(timeout)
+            if not self._rotation:
+                return None
+            client = self._rotation.popleft()
+            queue = self._queues[client]
+            job = queue.popleft()
+            if queue:
+                # Client keeps its place in the rotation — at the back, so
+                # everyone else gets a turn first.
+                self._rotation.append(client)
+            else:
+                del self._queues[client]
+            return job
+
+    def close(self) -> None:
+        """Wake every blocked ``pop`` (used on service shutdown)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return sum(len(q) for q in self._queues.values())

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of ``repro serve`` (run by CI on every push).
+
+Starts a real server subprocess on an ephemeral port, then exercises the
+full contract from the outside, exactly as a client would:
+
+1. ``POST /v1/jobs`` with a tiny scenario and poll it to completion;
+2. fetch ``GET /v1/records/<spec_hash>`` and compare the bytes against a
+   direct in-process ``run_scenario`` encoded by the result store — the
+   HTTP half of the determinism contract (``--kernel numpy`` re-runs this
+   under the vectorised kernel);
+3. re-POST the same spec and require an immediate ``cached`` response;
+4. pause a fresh job, wait for the park, resume it, and require the final
+   record bytes to match the uninterrupted run;
+5. flood the admission window from concurrent client threads and require
+   **exactly** ``k`` 429s for ``N + k`` fresh submissions;
+6. scrape ``/metrics`` and check the serve counters are present.
+
+Usage: python tools/serve_smoke.py [--kernel python|numpy|native]
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.harness.runner import run_scenario  # noqa: E402
+from repro.harness.scenario import (  # noqa: E402
+    ChipSpec,
+    DatasetSpec,
+    RunOptions,
+    Scenario,
+)
+from repro.harness.store import ResultStore  # noqa: E402
+
+
+def tiny(name, seed, increments=4):
+    return Scenario(
+        name=name,
+        dataset=DatasetSpec(vertices=40, edges=200,
+                            num_increments=increments,
+                            sampling="snowball", seed=seed),
+        chip=ChipSpec(side=4),
+        algorithm="bfs",
+        options=RunOptions(),
+    )
+
+
+def request(base, method, path, payload=None, headers=None, timeout=120):
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(base + path, data=data, method=method,
+                                 headers=headers or {})
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def wait_terminal(base, job_id, budget_s=300):
+    deadline = time.monotonic() + budget_s
+    while time.monotonic() < deadline:
+        _, body = request(base, "GET", f"/v1/jobs/{job_id}")
+        status = json.loads(body)
+        if status["state"] in ("done", "failed"):
+            return status
+        time.sleep(0.1)
+    raise SystemExit(f"job {job_id[:16]} never finished: {status}")
+
+
+def check(condition, label):
+    if not condition:
+        raise SystemExit(f"FAIL: {label}")
+    print(f"ok: {label}", flush=True)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--kernel", default=None,
+                        choices=("python", "numpy", "native"),
+                        help="pin the NoC kernel for submitted jobs")
+    args = parser.parse_args()
+
+    tmp = tempfile.mkdtemp(prefix="serve-smoke-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    cmd = [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+           "--jobs", "1", "--queue-depth", "2",
+           "--store", os.path.join(tmp, "store.jsonl")]
+    server = subprocess.Popen(cmd, stdout=subprocess.PIPE, text=True,
+                              env=env, cwd=ROOT)
+    try:
+        banner = server.stdout.readline()
+        check(banner.startswith("repro serve listening on http://"),
+              f"server came up ({banner.strip()})")
+        base = "http://" + banner.split("http://")[1].split()[0]
+
+        def submit(scenario, **extra):
+            payload = scenario.spec_dict()
+            if args.kernel:
+                payload = {"scenario": payload, "kernel": args.kernel}
+            return request(base, "POST", "/v1/jobs", payload, **extra)
+
+        # 1+2: submit, poll, byte-compare against a direct run.
+        scenario = tiny("smoke-main", seed=5)
+        code, body = submit(scenario)
+        check(code == 201, f"POST /v1/jobs admitted (HTTP {code})")
+        job_id = json.loads(body)["id"]
+        check(job_id == scenario.spec_hash(), "job id is the spec hash")
+        final = wait_terminal(base, job_id)
+        check(final["state"] == "done",
+              f"job ran to completion ({final['completed_increments']}/"
+              f"{final['total_increments']} increments)")
+        _, via_http = request(base, "GET", f"/v1/records/{job_id}")
+        direct = (ResultStore.encode(run_scenario(scenario)) + "\n").encode()
+        check(via_http == direct,
+              f"record over HTTP byte-identical to direct run "
+              f"(kernel={args.kernel or 'default'})")
+
+        # 3: duplicate submission is a cache hit, no recompute.
+        code, body = submit(scenario)
+        check(code == 200 and json.loads(body)["state"] == "done",
+              "re-POST of a stored spec returns the cached job")
+
+        # 4: pause -> resume mid-stream merges to the identical record.
+        pausable = tiny("smoke-pause", seed=6, increments=6)
+        code, body = submit(pausable)
+        check(code == 201, "pausable job admitted")
+        pid = json.loads(body)["id"]
+        code, _ = request(base, "POST", f"/v1/jobs/{pid}/pause")
+        check(code == 202, "pause accepted")
+        for _ in range(600):
+            _, body = request(base, "GET", f"/v1/jobs/{pid}")
+            status = json.loads(body)
+            if status["state"] in ("paused", "done"):
+                break
+            time.sleep(0.05)
+        if status["state"] == "paused":
+            print(f"   (parked at increment "
+                  f"{status['completed_increments']}/6)", flush=True)
+            code, _ = request(base, "POST", f"/v1/jobs/{pid}/resume")
+            check(code == 202, "resume accepted")
+        final = wait_terminal(base, pid)
+        check(final["state"] == "done", "paused job resumed to completion")
+        _, via_http = request(base, "GET", f"/v1/records/{pid}")
+        direct = (ResultStore.encode(run_scenario(pausable)) + "\n").encode()
+        check(via_http == direct,
+              "pause/resume record byte-identical to uninterrupted run")
+
+        # 5: N + k concurrent fresh submissions -> exactly k 429s.
+        outcomes, lock = [], threading.Lock()
+
+        def flood(i):
+            code, _ = submit(tiny(f"smoke-flood-{i}", seed=30 + i),
+                             headers={"X-Repro-Client": f"tenant-{i}"})
+            with lock:
+                outcomes.append(code)
+
+        threads = [threading.Thread(target=flood, args=(i,))
+                   for i in range(5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        check(sorted(outcomes) == [201, 201, 429, 429, 429],
+              f"queue-depth 2, 5 fresh submissions -> exactly 3 429s "
+              f"(got {sorted(outcomes)})")
+
+        # The admitted flood jobs must still complete (no pool crash).
+        _, body = request(base, "GET", "/v1/jobs")
+        for job in json.loads(body)["jobs"]:
+            if job["state"] not in ("done", "failed"):
+                wait_terminal(base, job["id"])
+        _, body = request(base, "GET", "/v1/jobs")
+        states = [j["state"] for j in json.loads(body)["jobs"]]
+        check(all(s == "done" for s in states),
+              f"every admitted job finished cleanly ({len(states)} jobs)")
+
+        # 6: metrics scrape.
+        code, body = request(base, "GET", "/metrics")
+        text = body.decode()
+        for needle in ("serve_requests_total", "serve_jobs_total",
+                       'outcome="rejected"', "serve_queue_depth"):
+            check(needle in text, f"/metrics exposes {needle}")
+
+        print("serve smoke: all checks passed", flush=True)
+    finally:
+        server.send_signal(signal.SIGINT)
+        try:
+            server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    main()
